@@ -1,0 +1,48 @@
+"""Ablation: Ring virtual-node count (the Section 5 memory/balance knob).
+
+The paper notes "a typical choice for the number of virtual copies is
+100-300" and that more copies improve balance at the cost of memory and
+search complexity.  This ablation measures max oversubscription and
+lookup throughput across vnode counts.
+"""
+
+import time
+
+from benchmarks.reporting import record
+from repro.analysis import max_oversubscription
+from repro.ch import RingHash
+from repro.ch.properties import balance_counts, sample_keys
+from repro.experiments.report import format_table
+
+N = 50
+WORKING = [f"s{i}" for i in range(N)]
+KEYS = sample_keys(40_000, seed=55)
+VNODE_COUNTS = (1, 10, 50, 100, 300)
+
+
+def run_vnode_sweep():
+    rows = []
+    oversub_by_vnodes = {}
+    for vnodes in VNODE_COUNTS:
+        ch = RingHash(WORKING, virtual_nodes=vnodes)
+        counts = balance_counts(ch, KEYS)
+        oversub = max_oversubscription(counts)
+        started = time.perf_counter()
+        for k in KEYS:
+            ch.lookup(k)
+        rate = len(KEYS) / (time.perf_counter() - started)
+        oversub_by_vnodes[vnodes] = oversub
+        rows.append([vnodes, f"{oversub:.3f}", f"{rate:,.0f}"])
+    return rows, oversub_by_vnodes
+
+
+def test_ring_vnode_ablation(once):
+    rows, oversub = once(run_vnode_sweep)
+    record(
+        "Ablation -- Ring virtual nodes (balance vs lookup rate)",
+        format_table(["vnodes", "max oversub", "lookups/s"], rows),
+    )
+    # The paper's rationale: more copies => materially better balance.
+    assert oversub[300] < oversub[10] < oversub[1]
+    # The paper's 100-300 sweet spot is close to random-quality balance.
+    assert oversub[300] < 1.5

@@ -1,0 +1,61 @@
+"""Backend-change cost per CH family (Section 5's CH-choice tradeoffs).
+
+Times a full remove-then-readd cycle: the control-plane cost that the
+paper's implementation notes discuss (ring repopulation vs table row
+updates vs anchor O(1) stack operations).
+"""
+
+import pytest
+
+from repro.ch import (
+    AnchorHash,
+    HRWHash,
+    IncrementalRingHash,
+    RingHash,
+    TableHRWHash,
+    rows_for,
+)
+from repro.ch.properties import sample_keys
+
+N, H_SIZE = 100, 10
+WORKING = [f"s{i}" for i in range(N)]
+HORIZON = [f"t{i}" for i in range(H_SIZE)]
+KEYS = sample_keys(200, seed=7)
+
+
+def build(family):
+    if family == "hrw":
+        return HRWHash(WORKING, HORIZON)
+    if family == "ring":
+        return RingHash(WORKING, HORIZON, virtual_nodes=100)
+    if family == "ring-inc":
+        return IncrementalRingHash(WORKING, HORIZON, virtual_nodes=100)
+    if family == "table":
+        return TableHRWHash(WORKING, HORIZON, rows=rows_for(N, copies=100))
+    return AnchorHash(WORKING, HORIZON, capacity=2 * (N + H_SIZE))
+
+
+@pytest.mark.parametrize("family", ["hrw", "ring", "ring-inc", "table", "anchor"])
+def test_remove_readd_cycle(benchmark, family):
+    ch = build(family)
+
+    def cycle():
+        ch.remove_working(WORKING[0])
+        ch.add_working(WORKING[0])
+        # Include one lookup so lazily-rebuilt structures (Ring) pay their
+        # repopulation inside the timed region.
+        ch.lookup(KEYS[0])
+
+    benchmark(cycle)
+
+
+@pytest.mark.parametrize("family", ["hrw", "ring", "ring-inc", "table", "anchor"])
+def test_horizon_change_cycle(benchmark, family):
+    ch = build(family)
+
+    def cycle():
+        ch.add_horizon("extra")
+        ch.remove_horizon("extra")
+        ch.lookup(KEYS[0])
+
+    benchmark(cycle)

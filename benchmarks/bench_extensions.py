@@ -1,0 +1,43 @@
+"""Section 6 benchmark: batch backend changes and load-aware JET."""
+
+import pytest
+
+from benchmarks.reporting import record
+from repro.experiments.extensions import load_aware_comparison, simultaneous_changes
+from repro.experiments.report import format_table
+
+
+def test_section61_simultaneous_changes(once):
+    outcome = once(simultaneous_changes)
+    record(
+        "Section 6.1 -- simultaneous backend changes",
+        f"violations={outcome['pcc_violations']} "
+        f"inevitable={outcome['inevitably_broken']} tracked={outcome['tracked']}",
+    )
+    # JET must survive batch removals + batch horizon additions unscathed.
+    assert outcome["pcc_violations"] == 0
+
+
+def test_section63_load_aware_jet(once):
+    rows = once(load_aware_comparison)
+    record(
+        "Section 6.3 -- power-of-2-choices JET",
+        format_table(
+            ["mode", "tracked fraction", "max oversubscription"],
+            [
+                [r.mode, f"{r.tracked_fraction:.3f}", f"{r.max_oversubscription:.3f}"]
+                for r in rows
+            ],
+        ),
+    )
+    by = {r.mode: r for r in rows}
+    # The paper's expectation: P2C saves >= ~50% of full CT's table...
+    assert by["jet-p2c"].tracked_fraction <= 0.65
+    # ... still costs more than plain JET ...
+    assert by["jet-p2c"].tracked_fraction > by["jet"].tracked_fraction
+    # ... and buys strictly better balance.
+    assert by["jet-p2c"].max_oversubscription <= by["jet"].max_oversubscription
+    # Bounded loads (Mirrokni et al., the other §6.3 direction): the
+    # epsilon=0.1 cap is enforced at a fraction of P2C's tracking bill.
+    assert by["jet-chbl"].max_oversubscription <= 1.1 + 0.02
+    assert by["jet-chbl"].tracked_fraction < by["jet-p2c"].tracked_fraction

@@ -1,0 +1,28 @@
+"""Figure 5 benchmark: maximum oversubscription vs connection rate per
+backend update rate.
+
+Checks the published shape -- balance improves (oversubscription falls)
+with the connection rate; JET and full CT balance identically
+(Proposition 4.1, single line per update rate).
+"""
+
+from benchmarks.reporting import record
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.report import format_table
+from repro.experiments.scales import scale_name
+
+
+def test_fig5_oversubscription(once):
+    result = once(run_fig5)
+    headers = ["series"] + [f"rate={r:g}" for r in result.connection_rates]
+    record(
+        f"Figure 5 -- max oversubscription vs connection rate [scale={scale_name()}]",
+        format_table(headers, result.to_rows())
+        + f"\nJET == full CT balance (Prop 4.1): {result.jet_equals_full}",
+    )
+
+    assert result.jet_equals_full
+    for series in result.oversubscription.values():
+        assert all(v >= 1.0 for v in series)
+        # Balance improves with the connection rate (paper's main trend).
+        assert series[-1] < series[0]

@@ -1,0 +1,66 @@
+"""Lookup-rate micro-benchmarks (the "rate" axis of Tables 1-2 / Fig. 7).
+
+Times the per-packet dispatch path of each LB configuration over a hot
+key stream.  These are the Python analogue of the paper's pkt/sec
+columns; absolute numbers are interpreter-bound (see EXPERIMENTS.md),
+the *relative* JET-vs-full-CT effects of table size still show.
+
+These use real pytest-benchmark rounds (they are microseconds-scale).
+"""
+
+import pytest
+
+from repro.ch import rows_for
+from repro.ch.properties import sample_keys
+from repro.core import make_full_ct, make_jet
+
+N, H_SIZE = 50, 5
+WORKING = [f"s{i}" for i in range(N)]
+HORIZON = [f"t{i}" for i in range(H_SIZE)]
+KEYS = sample_keys(20_000, seed=101)
+
+
+def _drive(lb):
+    get = lb.get_destination
+    for k in KEYS:
+        get(k)
+    return lb
+
+
+@pytest.mark.parametrize("family", ["hrw", "ring", "table", "anchor"])
+def test_jet_lookup_rate(benchmark, family):
+    kwargs = {}
+    if family == "table":
+        kwargs["rows"] = rows_for(N)
+    if family == "anchor":
+        kwargs["capacity"] = 2 * (N + H_SIZE)
+    lb = make_jet(family, WORKING, HORIZON, **kwargs)
+    _drive(lb)  # warm the CT with the unsafe keys
+    benchmark(_drive, lb)
+
+
+@pytest.mark.parametrize("family", ["table", "anchor", "maglev"])
+def test_full_ct_lookup_rate(benchmark, family):
+    kwargs = {}
+    if family == "table":
+        kwargs["rows"] = rows_for(N)
+    if family == "anchor":
+        kwargs["capacity"] = 2 * (N + H_SIZE)
+    if family == "maglev":
+        lb = make_full_ct(family, WORKING, table_size=65537)
+    else:
+        lb = make_full_ct(family, WORKING, HORIZON, **kwargs)
+    _drive(lb)  # warm: every key tracked
+    benchmark(_drive, lb)
+
+
+def test_ct_miss_path_rate(benchmark):
+    """JET's common case: CT miss followed by a CH computation."""
+    lb = make_jet("table", WORKING, HORIZON, rows=rows_for(N))
+
+    def misses():
+        get = lb.get_destination
+        for k in KEYS:
+            get(k + 1)  # perturbed keys: never tracked (safe rows dominate)
+
+    benchmark(misses)

@@ -1,0 +1,117 @@
+"""Section 4 benchmark: the theoretical guarantees, measured.
+
+Theorem 4.2 (tracking probability), Theorem 4.3 (concentration),
+Theorem 4.4 / Property 1 (order invariance), Proposition 4.1 (identical
+dispatching), and the Section 2.4 mod-N motivation.
+"""
+
+import pytest
+
+from benchmarks.reporting import record
+from repro.experiments.report import format_table
+from repro.experiments.theory import (
+    concentration,
+    modn_unsafe_fraction,
+    order_invariance,
+    paired_dispatching,
+    tracking_probability,
+)
+
+
+def test_theorem42_tracking_probability(once):
+    rows = once(tracking_probability)
+    record(
+        "Theorem 4.2 -- tracking probability alpha/(alpha+1)",
+        format_table(
+            ["family", "alpha", "measured", "predicted"],
+            [[f, f"{a:.3f}", f"{m:.4f}", f"{p:.4f}"] for f, a, m, p in rows],
+        ),
+    )
+    for _, _, measured, predicted in rows:
+        assert measured == pytest.approx(predicted, rel=0.3)
+
+
+def test_theorem43_concentration(once):
+    result = once(concentration)
+    record(
+        "Theorem 4.3 -- tracked-count concentration",
+        format_table(
+            ["t", "empirical P(X > mean+t)", "Hoeffding bound"],
+            [[t, f"{e:.4f}", f"{h:.4f}"] for t, e, h in result.exceed_by_t],
+        ),
+    )
+    # The empirical tail must decay and stay within noise of the bound.
+    tail = [e for _, e, _ in result.exceed_by_t]
+    assert tail == sorted(tail, reverse=True)
+    assert tail[-1] <= 0.02
+
+
+def test_theorem44_order_invariance(once):
+    outcome = once(order_invariance)
+    record(
+        "Theorem 4.4 / Property 1 -- order invariance",
+        format_table(
+            ["family", "property 1", "prefix safety"],
+            [[f, str(a), str(b)] for f, (a, b) in outcome.items()],
+        ),
+    )
+    assert all(a and b for a, b in outcome.values())
+
+
+def test_proposition41_identical_dispatching(once):
+    compared, disagreements = once(paired_dispatching)
+    record(
+        "Proposition 4.1 -- JET vs full CT dispatching",
+        f"compared={compared} disagreements={disagreements}",
+    )
+    assert disagreements == 0
+
+
+def test_section24_modn_strawman(once):
+    measured, predicted = once(modn_unsafe_fraction)
+    record(
+        "Section 2.4 -- mod-N unsafe fraction",
+        f"measured={measured:.4f} predicted={predicted:.4f}",
+    )
+    assert measured == pytest.approx(predicted, abs=0.05)
+
+
+def _model_vs_simulation():
+    """Little's-law + Theorem 4.2 occupancy model vs a measured run."""
+    from repro.analysis.model import CTOccupancyModel
+    from repro.sim import Exponential, SimulationConfig, run_simulation
+
+    duration_dist = Exponential(8.0)
+    cfg = SimulationConfig(
+        duration_s=80.0,
+        connection_rate=1_000.0,
+        n_servers=90,
+        horizon_size=10,
+        update_rate_per_min=0.0,
+        duration_dist=duration_dist,
+        ct_policy="ttl",
+        ct_ttl=12.0,
+        mode="jet",
+        seed=13,
+    )
+    result = run_simulation(cfg)
+    model = CTOccupancyModel(
+        arrival_rate=cfg.connection_rate / duration_dist.mean(),
+        mean_duration=duration_dist.mean(),
+        n_working=cfg.n_servers,
+        n_horizon=cfg.horizon_size,
+        retention=cfg.ct_ttl,
+    )
+    steady = result.tracked_series[len(result.tracked_series) // 2 :]
+    measured = sum(steady) / len(steady)
+    return measured, model.expected_tracked, model.table_size_for(1e-3)
+
+
+def test_analytical_occupancy_model(once):
+    measured, predicted, sizing = once(_model_vs_simulation)
+    record(
+        "Analytical CT-occupancy model vs simulation",
+        f"measured steady-state tracked={measured:.0f}  "
+        f"model={predicted:.0f}  suggested table (p_overflow=1e-3)={sizing}",
+    )
+    assert measured == pytest.approx(predicted, rel=0.30)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Autoscaling scenario: a service scaling out and in under live traffic.
+
+Models the paper's "standby servers" horizon strategy (Section 2.2): an
+autoscaler keeps a warm pool of standby instances announced to the LB; a
+traffic ramp triggers scale-out (horizon -> working), and the later ramp-
+down retires instances (working -> horizon -> permanently removed).
+
+Shows the memory story end to end: the CT table stays an order of
+magnitude below full CT's, and no connection ever experiences a PCC
+violation despite the backend changing eight times mid-traffic.
+
+Run:  python examples/autoscaling.py
+"""
+
+import random
+
+from repro import make_full_ct, make_jet
+from repro.hashing.mix import splitmix64
+
+INITIAL_WORKERS = [f"pod-{i}" for i in range(12)]
+WARM_POOL = [f"warm-{i}" for i in range(4)]
+
+
+class TrafficSource:
+    """Connections arrive and occasionally send follow-up packets."""
+
+    def __init__(self, seed: int = 0):
+        self._state = splitmix64(seed)
+        self._rng = random.Random(seed)
+        self.active = []
+
+    def new_connection(self) -> int:
+        self._state = splitmix64(self._state)
+        self.active.append(self._state)
+        return self._state
+
+    def some_active(self, count: int):
+        return self._rng.sample(self.active, min(count, len(self.active)))
+
+
+def drive(lb, source: TrafficSource, new: int, repeats: int, truth: dict) -> int:
+    """Send traffic; return the number of PCC violations observed."""
+    violations = 0
+    for _ in range(new):
+        key = source.new_connection()
+        truth[key] = lb.get_destination(key)
+    for key in source.some_active(repeats):
+        destination = truth.get(key)
+        if destination is None:
+            continue  # connection already reset after its server left
+        if destination not in lb.working:
+            truth.pop(key, None)  # inevitably broken; client reconnects
+            continue
+        if lb.get_destination(key) != destination:
+            violations += 1
+    return violations
+
+
+def run(label: str, lb) -> None:
+    source = TrafficSource(seed=7)
+    truth = {}
+    violations = 0
+
+    def remove(name: str) -> None:
+        """Remove a server; its connections are inevitably broken
+        (Section 2.1) -- the clients reconnect, so they leave `truth`."""
+        lb.remove_working_server(name)
+        for key in [k for k, d in truth.items() if d == name]:
+            del truth[key]
+
+    violations += drive(lb, source, new=4_000, repeats=2_000, truth=truth)
+
+    # Morning rush: scale out by three warm instances, traffic between each.
+    for name in WARM_POOL[:3]:
+        lb.add_working_server(name)
+        violations += drive(lb, source, new=2_000, repeats=3_000, truth=truth)
+
+    # Evening: scale in two pods (retire permanently) plus one maintenance
+    # reboot (leaves via the horizon and comes back).
+    for name in ["pod-1", "pod-2"]:
+        remove(name)
+        lb.remove_horizon_server(name)
+        violations += drive(lb, source, new=1_000, repeats=3_000, truth=truth)
+
+    remove("pod-3")                             # reboot: joins the horizon
+    violations += drive(lb, source, new=1_000, repeats=3_000, truth=truth)
+    lb.add_working_server("pod-3")              # ... and returns
+    violations += drive(lb, source, new=1_000, repeats=3_000, truth=truth)
+
+    print(
+        f"{label:>8}: connections={len(truth):,}  tracked={lb.tracked_connections:,} "
+        f"({lb.tracked_connections / max(len(truth), 1):.1%})  PCC violations={violations}"
+    )
+
+
+def main() -> None:
+    print(f"workers={len(INITIAL_WORKERS)}, warm pool={len(WARM_POOL)}")
+    run("JET", make_jet("anchor", INITIAL_WORKERS, WARM_POOL,
+                        capacity=4 * len(INITIAL_WORKERS)))
+    run("full CT", make_full_ct("anchor", INITIAL_WORKERS, WARM_POOL,
+                                capacity=4 * len(INITIAL_WORKERS)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: a JET load balancer in ~40 lines.
+
+Builds a JET LB over AnchorHash with ten working servers and one standby
+(horizon) server, dispatches client connections, then walks through the
+paper's core lifecycle: only *unsafe* connections get tracked, a horizon
+addition breaks nothing, and a removal only breaks the removed server's
+own connections.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FiveTuple, make_jet
+
+# Backend pool: ten working servers and one announced standby.
+WORKING = [f"10.0.0.{i}:8080" for i in range(1, 11)]
+STANDBY = ["10.0.1.1:8080"]
+
+
+def main() -> None:
+    lb = make_jet("anchor", working=WORKING, horizon=STANDBY)
+
+    # Dispatch 5,000 client connections (distinct TCP 5-tuples to one VIP).
+    connections = [
+        FiveTuple.make(f"198.51.{i // 250}.{i % 250 + 1}", "203.0.113.10", 10_000 + i, 443)
+        for i in range(5_000)
+    ]
+    first = {c.key64: lb.get_destination(c.key64) for c in connections}
+
+    tracked = lb.tracked_connections
+    print(f"dispatched {len(connections)} connections over {len(lb.working)} servers")
+    print(f"tracked (unsafe) connections: {tracked} "
+          f"(~{tracked / len(connections):.1%}; theory: |H|/(|W|+|H|) = "
+          f"{len(STANDBY) / (len(WORKING) + len(STANDBY)):.1%})")
+
+    # Scale out: admit the standby server. PCC must hold for every
+    # connection -- the unsafe ones are served from the CT table.
+    lb.add_working_server(STANDBY[0])
+    moved = sum(lb.get_destination(k) != destination for k, destination in first.items())
+    print(f"after adding {STANDBY[0]}: {moved} connections moved (expect 0)")
+
+    # Scale in: remove a server. Only its own connections break
+    # ("inevitably broken"); everyone else stays put.
+    victim = WORKING[3]
+    victims = sum(destination == victim for destination in first.values())
+    lb.remove_working_server(victim)
+    broken = sum(
+        lb.get_destination(k) != destination for k, destination in first.items()
+    )
+    print(f"after removing {victim}: {broken} connections rerouted "
+          f"(= its own {victims} connections)")
+    assert broken == victims, "JET must not disturb other connections"
+
+
+if __name__ == "__main__":
+    main()

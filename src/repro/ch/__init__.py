@@ -1,0 +1,59 @@
+"""Consistent hashing algorithms, all implemented from scratch.
+
+JET-pluggable (implement :class:`~repro.ch.base.HorizonConsistentHash`):
+
+- :class:`HRWHash` -- rendezvous hashing (Section 3.2);
+- :class:`RingHash` -- ring with virtual nodes (Section 3.3);
+- :class:`TableHRWHash` -- table-based HRW (Section 3.4);
+- :class:`AnchorHash` -- AnchorHash (Section 3.5);
+- :class:`JumpHash` -- jump hashing (extension; horizon is a stack);
+- :class:`ModuloHash` -- the Section 2.4 strawman (not consistent).
+
+Full-CT only (implements plain :class:`~repro.ch.base.ConsistentHash`):
+
+- :class:`MaglevHash` -- cannot be JET-integrated because of row flips
+  (Section 3.6).
+"""
+
+from repro.ch.base import BackendError, ConsistentHash, HorizonConsistentHash, Name
+from repro.ch.hrw import HRWHash
+from repro.ch.ring import RingHash
+from repro.ch.ring_incremental import IncrementalRingHash
+from repro.ch.table_hrw import ScalarTableHRW, TableHRWHash, rows_for
+from repro.ch.anchor import AnchorBuckets, AnchorHash
+from repro.ch.maglev import MaglevHash
+from repro.ch.jump import JumpHash, jump_bucket
+from repro.ch.modulo import ModuloHash
+from repro.ch.weighted import WeightedHRWHash, WeightedRingHash
+
+#: JET-compatible CH families evaluated in the paper, by name (plus the
+#: incremental ring variant from Algorithm 3's implementation notes).
+JET_FAMILIES = {
+    "hrw": HRWHash,
+    "ring": RingHash,
+    "ring-incremental": IncrementalRingHash,
+    "table": TableHRWHash,
+    "anchor": AnchorHash,
+}
+
+__all__ = [
+    "BackendError",
+    "ConsistentHash",
+    "HorizonConsistentHash",
+    "Name",
+    "HRWHash",
+    "RingHash",
+    "IncrementalRingHash",
+    "TableHRWHash",
+    "ScalarTableHRW",
+    "rows_for",
+    "AnchorHash",
+    "AnchorBuckets",
+    "MaglevHash",
+    "JumpHash",
+    "jump_bucket",
+    "ModuloHash",
+    "WeightedHRWHash",
+    "WeightedRingHash",
+    "JET_FAMILIES",
+]

@@ -1,0 +1,105 @@
+"""Highest Random Weight (rendezvous) hashing -- Section 3.2 / Algorithm 2.
+
+Each server carries an independent 64-bit weight stream over keys; a key is
+dispatched to the working server with the highest weight.  The JET safety
+check is Algorithm 2 line 5: a key is unsafe iff some *horizon* server's
+weight beats the chosen working server's weight -- there is no need to
+evaluate ``CH(W ∪ H, k)`` in full.
+
+Ties: 64-bit weights collide with probability ~2^-64 per pair; we still break
+ties deterministically by server seed so that ``lookup`` is a pure function
+of (W, k) regardless of insertion order (required by Property 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.ch.base import BackendError, HorizonConsistentHash, Name
+from repro.hashing.keyed import KeyedHasher
+
+
+class HRWHash(HorizonConsistentHash):
+    """Rendezvous hashing over ``W`` with a horizon-aware safety test."""
+
+    def __init__(self, working: Iterable[Name] = (), horizon: Iterable[Name] = ()):
+        self._working: Dict[Name, KeyedHasher] = {}
+        self._horizon: Dict[Name, KeyedHasher] = {}
+        for name in working:
+            self._admit(self._working, name)
+        for name in horizon:
+            self.add_horizon(name)
+
+    # ------------------------------------------------------------- sets
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return frozenset(self._working)
+
+    @property
+    def horizon(self) -> FrozenSet[Name]:
+        return frozenset(self._horizon)
+
+    def _admit(self, side: Dict[Name, KeyedHasher], name: Name) -> None:
+        if name in self._working or name in self._horizon:
+            raise BackendError(f"server {name!r} already present")
+        side[name] = KeyedHasher(name)
+
+    # ----------------------------------------------------------- lookup
+    def lookup(self, key_hash: int) -> Name:
+        best = self._argmax(self._working.values(), key_hash)
+        if best is None:
+            raise BackendError("lookup on empty working set")
+        return best.name
+
+    def lookup_with_safety(self, key_hash: int) -> Tuple[Name, bool]:
+        best = self._argmax(self._working.values(), key_hash)
+        if best is None:
+            raise BackendError("lookup on empty working set")
+        best_weight = best.weight(key_hash)
+        unsafe = any(
+            self._beats(h, key_hash, best_weight, best)
+            for h in self._horizon.values()
+        )
+        return best.name, unsafe
+
+    def lookup_union(self, key_hash: int) -> Name:
+        candidates = list(self._working.values()) + list(self._horizon.values())
+        best = self._argmax(candidates, key_hash)
+        if best is None:
+            raise BackendError("lookup on empty server set")
+        return best.name
+
+    @staticmethod
+    def _argmax(hashers, key_hash: int):
+        best = None
+        best_key = None
+        for h in hashers:
+            w = (h.weight(key_hash), h.seed)
+            if best_key is None or w > best_key:
+                best, best_key = h, w
+        return best
+
+    @staticmethod
+    def _beats(h: KeyedHasher, key_hash: int, best_weight: int, best: KeyedHasher) -> bool:
+        w = h.weight(key_hash)
+        return (w, h.seed) > (best_weight, best.seed)
+
+    # --------------------------------------------------------- mutation
+    def add_working(self, name: Name) -> None:
+        hasher = self._horizon.pop(name, None)
+        if hasher is None:
+            raise BackendError(f"server {name!r} is not in the horizon")
+        self._working[name] = hasher
+
+    def remove_working(self, name: Name) -> None:
+        hasher = self._working.pop(name, None)
+        if hasher is None:
+            raise BackendError(f"server {name!r} is not working")
+        self._horizon[name] = hasher
+
+    def add_horizon(self, name: Name) -> None:
+        self._admit(self._horizon, name)
+
+    def remove_horizon(self, name: Name) -> None:
+        if self._horizon.pop(name, None) is None:
+            raise BackendError(f"server {name!r} is not in the horizon")

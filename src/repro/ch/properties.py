@@ -1,0 +1,151 @@
+"""Empirical checkers for the consistent-hash properties JET relies on.
+
+Section 2.4 / Section 4 require the CH module to provide:
+
+- **minimal disruption** -- adding a server only moves keys *to* it;
+  removing a server only moves keys *off* it;
+- **balance** -- keys spread (near-)uniformly over the working set;
+- **Property 1** -- whether ``CH(W ∪ H, k)`` equals ``CH(W, k)`` does not
+  depend on the order in which the horizon is admitted.
+
+These checkers drive both the test suite and the theory benchmarks.  They
+operate on factory callables so each trial gets a fresh CH instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.ch.base import HorizonConsistentHash, Name
+from repro.hashing.mix import splitmix64
+
+
+def sample_keys(count: int, seed: int = 1) -> List[int]:
+    """Deterministic pseudo-random 64-bit key hashes for experiments."""
+    keys = []
+    state = seed
+    for _ in range(count):
+        state = splitmix64(state)
+        keys.append(state)
+    return keys
+
+
+@dataclass
+class DisruptionReport:
+    """Outcome of a minimal-disruption check around one backend change."""
+
+    moved_to_changed: int
+    moved_elsewhere: int
+    total: int
+
+    @property
+    def is_minimal(self) -> bool:
+        return self.moved_elsewhere == 0
+
+    @property
+    def moved_fraction(self) -> float:
+        return (self.moved_to_changed + self.moved_elsewhere) / max(self.total, 1)
+
+
+def check_addition_disruption(
+    ch: HorizonConsistentHash, new_server: Name, keys: Sequence[int]
+) -> DisruptionReport:
+    """Admit ``new_server`` from the horizon and classify key movements."""
+    before = {k: ch.lookup(k) for k in keys}
+    ch.add_working(new_server)
+    moved_to, moved_elsewhere = 0, 0
+    for k in keys:
+        after = ch.lookup(k)
+        if after != before[k]:
+            if after == new_server:
+                moved_to += 1
+            else:
+                moved_elsewhere += 1
+    return DisruptionReport(moved_to, moved_elsewhere, len(keys))
+
+
+def check_removal_disruption(
+    ch: HorizonConsistentHash, victim: Name, keys: Sequence[int]
+) -> DisruptionReport:
+    """Remove ``victim`` and classify key movements (only victim's keys may move)."""
+    before = {k: ch.lookup(k) for k in keys}
+    if hasattr(ch, "remove_working"):
+        ch.remove_working(victim)
+    else:  # plain ConsistentHash (e.g. MaglevHash)
+        ch.remove(victim)
+    moved_off, moved_elsewhere = 0, 0
+    for k in keys:
+        after = ch.lookup(k)
+        if after != before[k]:
+            if before[k] == victim:
+                moved_off += 1
+            else:
+                moved_elsewhere += 1
+    return DisruptionReport(moved_off, moved_elsewhere, len(keys))
+
+
+def balance_counts(ch, keys: Sequence[int]) -> Dict[Name, int]:
+    """Keys per working server."""
+    counts: Dict[Name, int] = {name: 0 for name in ch.working}
+    for k in keys:
+        counts[ch.lookup(k)] += 1
+    return counts
+
+
+def check_property1(
+    factory: Callable[[], HorizonConsistentHash],
+    keys: Sequence[int],
+    orderings: int = 5,
+    rng: random.Random = None,
+) -> bool:
+    """Verify Property 1: the safe/unsafe partition is ordering-invariant.
+
+    For several random admission orders of the horizon, admit every horizon
+    server and compare the final destination of each key against the
+    pre-admission ``lookup``; the set of keys whose destination changed must
+    be identical across orderings, and must equal the keys flagged unsafe by
+    ``lookup_with_safety``.
+    """
+    rng = rng or random.Random(0)
+    reference = factory()
+    flagged = {k for k in keys if reference.lookup_with_safety(k)[1]}
+
+    partitions = []
+    for _ in range(orderings):
+        ch = factory()
+        before = {k: ch.lookup(k) for k in keys}
+        order = list(ch.horizon)
+        rng.shuffle(order)
+        for server in order:
+            ch.add_working(server)
+        changed = {k for k in keys if ch.lookup(k) != before[k]}
+        partitions.append(changed)
+
+    return all(p == partitions[0] for p in partitions) and partitions[0] == flagged
+
+
+def check_prefix_safety(
+    factory: Callable[[], HorizonConsistentHash],
+    keys: Sequence[int],
+    trials: int = 5,
+    rng: random.Random = None,
+) -> bool:
+    """Theorem 4.4's stronger claim: a key deemed *safe* never changes
+    destination under any subset/prefix of horizon admissions, checked after
+    every single admission step."""
+    rng = rng or random.Random(1)
+    reference = factory()
+    safe = {k for k in keys if not reference.lookup_with_safety(k)[1]}
+    for _ in range(trials):
+        ch = factory()
+        before = {k: ch.lookup(k) for k in safe}
+        order = list(ch.horizon)
+        rng.shuffle(order)
+        for server in order:
+            ch.add_working(server)
+            for k in safe:
+                if ch.lookup(k) != before[k]:
+                    return False
+    return True

@@ -1,0 +1,168 @@
+"""Ring consistent hashing with virtual nodes -- Section 3.3 / Algorithm 3.
+
+Servers are placed on a 2^64-point ring at positions derived from their name
+(``virtual_nodes`` positions per server, 100-300 in the paper); a key goes to
+the first server position clockwise from ``hash(k)``.
+
+JET integration follows POPULATERING (Algorithm 3): the ring is built from
+*both* working and horizon positions.  A working position carries
+``(server, track=False)``.  A horizon position carries
+``(successor-working-server, track=True)`` -- keys landing on it are still
+dispatched within ``W`` (to the server they map to *today*), but they are
+unsafe because a horizon addition would capture them.
+
+The merged ring is rebuilt lazily after backend changes (the paper notes a
+full repopulate per change is acceptable; an incremental variant only
+touches affected successors -- we rebuild, which is simpler and still
+O((|W|+|H|)·V log) per change, amortized over many lookups).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.ch.base import BackendError, HorizonConsistentHash, Name
+from repro.hashing.keyed import server_seed
+from repro.hashing.mix import fmix64, mix2
+
+DEFAULT_VIRTUAL_NODES = 100
+
+
+def _vnode_positions(name: Name, virtual_nodes: int) -> List[int]:
+    """Ring positions of a server's virtual nodes (deterministic in name)."""
+    seed = server_seed(name)
+    return [mix2(seed, fmix64(replica)) for replica in range(virtual_nodes)]
+
+
+class RingHash(HorizonConsistentHash):
+    """Ring hashing over ``W`` with the horizon folded in per Algorithm 3."""
+
+    def __init__(
+        self,
+        working: Iterable[Name] = (),
+        horizon: Iterable[Name] = (),
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ):
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._working: Dict[Name, List[int]] = {}
+        self._horizon: Dict[Name, List[int]] = {}
+        # Merged ring: parallel arrays sorted by position.
+        self._positions: List[int] = []
+        self._entries: List[Tuple[Name, bool]] = []
+        self._dirty = True
+        for name in working:
+            self._register(self._working, name)
+        for name in horizon:
+            self._register(self._horizon, name)
+
+    # ------------------------------------------------------------- sets
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return frozenset(self._working)
+
+    @property
+    def horizon(self) -> FrozenSet[Name]:
+        return frozenset(self._horizon)
+
+    def _register(self, side: Dict[Name, List[int]], name: Name) -> None:
+        if name in self._working or name in self._horizon:
+            raise BackendError(f"server {name!r} already present")
+        side[name] = _vnode_positions(name, self.virtual_nodes)
+        self._dirty = True
+
+    # --------------------------------------------------------- populate
+    def _rebuild(self) -> None:
+        """POPULATERING of Algorithm 3, merged into sorted parallel arrays."""
+        ring_w: List[Tuple[int, int, Name]] = []  # (pos, tiebreak, server)
+        for name, positions in self._working.items():
+            seed = server_seed(name)
+            for pos in positions:
+                ring_w.append((pos, seed, name))
+        ring_w.sort()
+
+        merged: List[Tuple[int, int, Name, bool]] = [
+            (pos, tiebreak, name, False) for pos, tiebreak, name in ring_w
+        ]
+        if ring_w:
+            # Map each horizon vnode to its working successor's server.
+            w_positions = [item[0] for item in ring_w]
+            n = len(ring_w)
+            for name, positions in self._horizon.items():
+                seed = server_seed(name)
+                for pos in positions:
+                    successor = ring_w[bisect_right(w_positions, pos) % n][2]
+                    merged.append((pos, seed, successor, True))
+        merged.sort()
+        self._positions = [item[0] for item in merged]
+        self._entries = [(item[2], item[3]) for item in merged]
+        self._dirty = False
+
+    # ----------------------------------------------------------- lookup
+    def lookup_with_safety(self, key_hash: int) -> Tuple[Name, bool]:
+        if self._dirty:
+            self._rebuild()
+        if not self._working:
+            raise BackendError("lookup on empty working set")
+        index = bisect_right(self._positions, key_hash) % len(self._positions)
+        return self._entries[index]
+
+    def iter_successors(self, key_hash: int):
+        """Yield distinct *working* servers in clockwise ring order from
+        the key's position.
+
+        The deterministic fallback sequence that bounded-load dispatching
+        (Mirrokni et al.; see :mod:`repro.core.bounded_load`) walks when
+        the primary choice is saturated.
+        """
+        if self._dirty:
+            self._rebuild()
+        if not self._working:
+            raise BackendError("lookup on empty working set")
+        n = len(self._positions)
+        start = bisect_right(self._positions, key_hash) % n
+        seen = set()
+        for step in range(n):
+            server, _ = self._entries[(start + step) % n]
+            if server not in seen:
+                seen.add(server)
+                yield server
+
+    def lookup_union(self, key_hash: int) -> Name:
+        """Successor over the true union ring of ``W ∪ H`` (reference)."""
+        union: List[Tuple[int, int, Name]] = []
+        for side in (self._working, self._horizon):
+            for name, positions in side.items():
+                seed = server_seed(name)
+                for pos in positions:
+                    union.append((pos, seed, name))
+        if not union:
+            raise BackendError("lookup on empty server set")
+        union.sort()
+        positions = [item[0] for item in union]
+        return union[bisect_right(positions, key_hash) % len(union)][2]
+
+    # --------------------------------------------------------- mutation
+    def add_working(self, name: Name) -> None:
+        positions = self._horizon.pop(name, None)
+        if positions is None:
+            raise BackendError(f"server {name!r} is not in the horizon")
+        self._working[name] = positions
+        self._dirty = True
+
+    def remove_working(self, name: Name) -> None:
+        positions = self._working.pop(name, None)
+        if positions is None:
+            raise BackendError(f"server {name!r} is not working")
+        self._horizon[name] = positions
+        self._dirty = True
+
+    def add_horizon(self, name: Name) -> None:
+        self._register(self._horizon, name)
+
+    def remove_horizon(self, name: Name) -> None:
+        if self._horizon.pop(name, None) is None:
+            raise BackendError(f"server {name!r} is not in the horizon")
+        self._dirty = True

@@ -1,0 +1,153 @@
+"""Incrementally updated Ring hashing.
+
+Algorithm 3's implementation notes offer two maintenance strategies:
+repopulate the whole ring per backend change (what :class:`RingHash`
+does, lazily), or "update only the successors/predecessors that are
+affected by the backend change".  This class implements the latter: each
+event touches only the affected arc of the merged ring --
+O(V log R + affected) per event instead of O(R log R) -- which matters
+when backend churn is frequent relative to lookups.
+
+Invariants maintained in place (identical to POPULATERING's output):
+
+- ``_positions``/``_entries``: the merged ring; a working vnode at ``p``
+  carries ``(owner, False)``; a horizon vnode carries
+  ``(working successor of p, True)``;
+- ``_w_pos``/``_w_srv``: the working vnodes alone, sorted, for successor
+  queries.
+
+Equivalence with the rebuild-from-scratch ring is asserted by the
+differential tests in ``tests/test_ch_ring_incremental.py``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, List
+
+from repro.ch.base import BackendError, Name
+from repro.ch.ring import RingHash, _vnode_positions
+
+
+class IncrementalRingHash(RingHash):
+    """Ring hashing with per-event incremental maintenance."""
+
+    def __init__(
+        self,
+        working: Iterable[Name] = (),
+        horizon: Iterable[Name] = (),
+        virtual_nodes: int = 100,
+    ):
+        self._w_pos: List[int] = []
+        self._w_srv: List[Name] = []
+        super().__init__(working, horizon, virtual_nodes=virtual_nodes)
+        self._rebuild()
+
+    # --------------------------------------------------------- plumbing
+    def _rebuild(self) -> None:
+        super()._rebuild()
+        pairs = sorted(
+            (pos, name)
+            for name, positions in self._working.items()
+            for pos in positions
+        )
+        self._w_pos = [pos for pos, _ in pairs]
+        self._w_srv = [name for _, name in pairs]
+
+    def _ensure_clean(self) -> None:
+        if self._dirty:
+            self._rebuild()
+
+    def _merged_index(self, pos: int) -> int:
+        index = bisect_left(self._positions, pos)
+        if index >= len(self._positions) or self._positions[index] != pos:
+            raise BackendError("ring state corrupt: vnode position missing")
+        return index
+
+    def _arc_indices(self, after: int, upto: int) -> Iterable[int]:
+        """Merged-ring indices with position in the arc ``(after, upto)``."""
+        lo = bisect_right(self._positions, after)
+        hi = bisect_left(self._positions, upto)
+        if after < upto:
+            return range(lo, hi)
+        return list(range(lo, len(self._positions))) + list(range(0, hi))
+
+    # --------------------------------------------------------- mutation
+    def add_working(self, name: Name) -> None:
+        self._ensure_clean()
+        positions = self._horizon.pop(name, None)
+        if positions is None:
+            raise BackendError(f"server {name!r} is not in the horizon")
+        self._working[name] = positions
+        if not self._w_pos:
+            # Transition out of an empty working set: horizon vnodes are
+            # absent from the merged ring; rebuild from scratch lazily.
+            self._dirty = True
+            return
+        for pos in sorted(positions):
+            index = self._merged_index(pos)
+            if self._w_pos:
+                predecessor = self._w_pos[bisect_left(self._w_pos, pos) - 1]
+                arc = self._arc_indices(predecessor, pos)
+            else:
+                arc = [t for t in range(len(self._positions)) if t != index]
+            # Horizon vnodes in the arc now have this vnode as successor.
+            for t in arc:
+                _, tracked = self._entries[t]
+                if tracked:
+                    self._entries[t] = (name, True)
+            self._entries[index] = (name, False)
+            insert_at = bisect_left(self._w_pos, pos)
+            self._w_pos.insert(insert_at, pos)
+            self._w_srv.insert(insert_at, name)
+
+    def remove_working(self, name: Name) -> None:
+        self._ensure_clean()
+        positions = self._working.pop(name, None)
+        if positions is None:
+            raise BackendError(f"server {name!r} is not working")
+        self._horizon[name] = positions
+        for pos in positions:
+            index = bisect_left(self._w_pos, pos)
+            del self._w_pos[index]
+            del self._w_srv[index]
+        if not self._w_pos:
+            self._dirty = True  # empty working set: rebuild lazily
+            return
+        for pos in sorted(positions):
+            index = self._merged_index(pos)
+            successor = self._w_srv[bisect_right(self._w_pos, pos) % len(self._w_pos)]
+            predecessor = self._w_pos[bisect_left(self._w_pos, pos) - 1]
+            self._entries[index] = (successor, True)
+            for t in self._arc_indices(predecessor, pos):
+                _, tracked = self._entries[t]
+                if tracked:
+                    self._entries[t] = (successor, True)
+
+    def add_horizon(self, name: Name) -> None:
+        self._ensure_clean()
+        if name in self._working or name in self._horizon:
+            raise BackendError(f"server {name!r} already present")
+        positions = _vnode_positions(name, self.virtual_nodes)
+        self._horizon[name] = positions
+        if not self._w_pos:
+            self._dirty = True
+            return
+        for pos in positions:
+            successor = self._w_srv[bisect_right(self._w_pos, pos) % len(self._w_pos)]
+            index = bisect_left(self._positions, pos)
+            self._positions.insert(index, pos)
+            self._entries.insert(index, (successor, True))
+
+    def remove_horizon(self, name: Name) -> None:
+        self._ensure_clean()
+        positions = self._horizon.pop(name, None)
+        if positions is None:
+            raise BackendError(f"server {name!r} is not in the horizon")
+        if not self._w_pos:
+            self._dirty = True  # empty working set: merged ring is empty
+            return
+        for pos in positions:
+            index = self._merged_index(pos)
+            del self._positions[index]
+            del self._entries[index]

@@ -1,0 +1,192 @@
+"""Weighted consistent hashing -- heterogeneous backends.
+
+Production pools mix server generations, so LBs weight their dispatching
+(bigger machines take proportionally more connections).  This module adds
+weights to two JET-compatible families:
+
+- :class:`WeightedHRWHash` -- HRW with the classic logarithmic method
+  (Thaler & Ravishankar): score(s, k) = -weight_s / ln(h(s,k)) where
+  ``h`` maps to (0, 1).  The winner distribution is exactly proportional
+  to the weights, and the JET safety test is the same single comparison
+  against the horizon's best score (Algorithm 2 line 5 generalizes
+  verbatim).
+
+- :class:`WeightedRingHash` -- Ring with per-server virtual-node counts
+  proportional to weight (the standard practice); inherits Algorithm 3's
+  populate-with-horizon unchanged.
+
+Both preserve Property 1 (scores/positions are order-independent), so
+Theorem 4.4 applies and JET integration is sound; only the *tracking
+probability* changes -- it becomes weight(H) / weight(W ∪ H), the natural
+generalization of Theorem 4.2 (asserted empirically in the tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
+
+from repro.ch.base import BackendError, HorizonConsistentHash, Name
+from repro.ch.ring import RingHash
+from repro.hashing.keyed import KeyedHasher
+from repro.hashing.mix import MASK64
+
+#: Accepted server specs: {"name": weight} mapping or iterable of names
+#: (weight 1.0 each).
+ServerSpec = Union[Mapping[Name, float], Iterable[Name]]
+
+
+def _normalize(spec: ServerSpec) -> Dict[Name, float]:
+    if isinstance(spec, Mapping):
+        weights = dict(spec)
+    else:
+        weights = {name: 1.0 for name in spec}
+    for name, weight in weights.items():
+        if weight <= 0:
+            raise BackendError(f"server {name!r} needs a positive weight")
+    return weights
+
+
+class _WeightedServer:
+    """Precomputed per-server state for weighted rendezvous scoring."""
+
+    __slots__ = ("name", "weight", "hasher")
+
+    def __init__(self, name: Name, weight: float):
+        self.name = name
+        self.weight = weight
+        self.hasher = KeyedHasher(name)
+
+    def score(self, key_hash: int) -> float:
+        # h in (0, 1]: shift by 1 so ln never sees 0; -w/ln(h) in (0, inf).
+        h = (self.hasher.weight(key_hash) + 1) / (MASK64 + 2)
+        return -self.weight / math.log(h)
+
+
+class WeightedHRWHash(HorizonConsistentHash):
+    """Weight-proportional rendezvous hashing with JET horizon support."""
+
+    def __init__(self, working: ServerSpec = (), horizon: ServerSpec = ()):
+        self._working: Dict[Name, _WeightedServer] = {}
+        self._horizon: Dict[Name, _WeightedServer] = {}
+        for name, weight in _normalize(working).items():
+            self._admit(self._working, name, weight)
+        for name, weight in _normalize(horizon).items():
+            self._admit(self._horizon, name, weight)
+
+    # ------------------------------------------------------------- sets
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return frozenset(self._working)
+
+    @property
+    def horizon(self) -> FrozenSet[Name]:
+        return frozenset(self._horizon)
+
+    def weight_of(self, name: Name) -> float:
+        server = self._working.get(name) or self._horizon.get(name)
+        if server is None:
+            raise BackendError(f"server {name!r} is not present")
+        return server.weight
+
+    def _admit(self, side: Dict[Name, _WeightedServer], name: Name, weight: float) -> None:
+        if name in self._working or name in self._horizon:
+            raise BackendError(f"server {name!r} already present")
+        side[name] = _WeightedServer(name, weight)
+
+    # ----------------------------------------------------------- lookup
+    def _best(self, servers, key_hash: int):
+        best, best_score = None, -1.0
+        for server in servers:
+            score = server.score(key_hash)
+            if score > best_score:
+                best, best_score = server, score
+        return best, best_score
+
+    def lookup(self, key_hash: int) -> Name:
+        best, _ = self._best(self._working.values(), key_hash)
+        if best is None:
+            raise BackendError("lookup on empty working set")
+        return best.name
+
+    def lookup_with_safety(self, key_hash: int) -> Tuple[Name, bool]:
+        best, best_score = self._best(self._working.values(), key_hash)
+        if best is None:
+            raise BackendError("lookup on empty working set")
+        unsafe = any(
+            server.score(key_hash) > best_score for server in self._horizon.values()
+        )
+        return best.name, unsafe
+
+    def lookup_union(self, key_hash: int) -> Name:
+        candidates = list(self._working.values()) + list(self._horizon.values())
+        best, _ = self._best(candidates, key_hash)
+        if best is None:
+            raise BackendError("lookup on empty server set")
+        return best.name
+
+    # --------------------------------------------------------- mutation
+    def add_working(self, name: Name) -> None:
+        server = self._horizon.pop(name, None)
+        if server is None:
+            raise BackendError(f"server {name!r} is not in the horizon")
+        self._working[name] = server
+
+    def remove_working(self, name: Name) -> None:
+        server = self._working.pop(name, None)
+        if server is None:
+            raise BackendError(f"server {name!r} is not working")
+        self._horizon[name] = server
+
+    def add_horizon(self, name: Name, weight: float = 1.0) -> None:
+        self._admit(self._horizon, name, weight)
+
+    def remove_horizon(self, name: Name) -> None:
+        if self._horizon.pop(name, None) is None:
+            raise BackendError(f"server {name!r} is not in the horizon")
+
+
+class WeightedRingHash(RingHash):
+    """Ring hashing with weight-proportional virtual-node counts.
+
+    ``base_virtual_nodes`` vnodes correspond to weight 1.0; a weight-3
+    server gets three times as many ring positions.
+    """
+
+    def __init__(
+        self,
+        working: ServerSpec = (),
+        horizon: ServerSpec = (),
+        base_virtual_nodes: int = 100,
+    ):
+        self._weights = _normalize(working)
+        self._weights.update(_normalize(horizon))
+        self.base_virtual_nodes = base_virtual_nodes
+        super().__init__(
+            working=list(_normalize(working)),
+            horizon=list(_normalize(horizon)),
+            virtual_nodes=base_virtual_nodes,
+        )
+
+    def _vnodes_for(self, name: Name) -> int:
+        weight = self._weights.get(name, 1.0)
+        return max(1, round(self.base_virtual_nodes * weight))
+
+    def _register(self, side, name: Name) -> None:
+        if name in self._working or name in self._horizon:
+            raise BackendError(f"server {name!r} already present")
+        from repro.ch.ring import _vnode_positions
+
+        side[name] = _vnode_positions(name, self._vnodes_for(name))
+        self._dirty = True
+
+    def weight_of(self, name: Name) -> float:
+        if name not in self._working and name not in self._horizon:
+            raise BackendError(f"server {name!r} is not present")
+        return self._weights.get(name, 1.0)
+
+    def add_horizon(self, name: Name, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise BackendError(f"server {name!r} needs a positive weight")
+        self._weights[name] = weight
+        super().add_horizon(name)

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment``  run one of the paper's tables/figures (fig3..fig7,
+                table1, table2, theory, extensions, lbpool, all)
+``simulate``    one event-driven run with explicit knobs (Section 5.1)
+``trace``       generate / inspect / replay packet traces
+``version``     print package version
+
+Examples::
+
+    python -m repro experiment fig3 --scale smoke
+    python -m repro simulate --mode jet --servers 120 --horizon 12 \
+        --rate 1000 --duration 60 --update-rate 10 --ct-size 500
+    python -m repro trace generate zipf --skew 1.1 --packets 500000 \
+        --out /tmp/z11.npz
+    python -m repro trace replay /tmp/z11.npz --family anchor --mode jet
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.distributions import LogNormal
+
+
+def _experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import extensions, fig3, fig4, fig5, fig6, fig7, lb_pool, table12, theory
+
+    runners = {
+        "fig3": lambda: fig3.main(args.scale),
+        "fig4": lambda: fig4.main(args.scale),
+        "fig5": lambda: fig5.main(args.scale),
+        "fig6": lambda: fig6.main(args.scale),
+        "fig7": lambda: fig7.main(args.scale),
+        "table1": lambda: table12.main_table1(args.scale),
+        "table2": lambda: table12.main_table2(args.scale),
+        "theory": theory.main,
+        "extensions": extensions.main,
+        "lbpool": lb_pool.main,
+    }
+    names = list(runners) if args.name == "all" else [args.name]
+    for name in names:
+        runners[name]()
+    return 0
+
+
+def _simulate(args: argparse.Namespace) -> int:
+    from repro.sim.scenario import SimulationConfig, run_simulation
+
+    config = SimulationConfig(
+        duration_s=args.duration,
+        connection_rate=args.rate,
+        n_servers=args.servers,
+        horizon_size=args.horizon,
+        update_rate_per_min=args.update_rate,
+        ct_capacity=args.ct_size,
+        ct_policy=args.ct_policy,
+        ct_ttl=args.ct_ttl,
+        mode=args.mode,
+        ch_family=args.family,
+        seed=args.seed,
+        downtime_dist=LogNormal(median=args.downtime, sigma=0.8),
+    )
+    result = run_simulation(config)
+    print(result.summary())
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    from repro.traces import load_trace, ny18_like, replay, save_trace, uni1_like, zipf_trace
+
+    if args.trace_command == "generate":
+        if args.kind == "zipf":
+            trace = zipf_trace(
+                args.skew, n_packets=args.packets,
+                population=args.population or args.packets // 4, seed=args.seed,
+            )
+        elif args.kind == "uni1":
+            trace = uni1_like(scale=args.trace_scale, seed=args.seed)
+        else:
+            trace = ny18_like(scale=args.trace_scale, seed=args.seed)
+        print(trace.describe())
+        if args.out:
+            save_trace(trace, args.out)
+            print(f"saved to {args.out}")
+        return 0
+
+    if args.trace_command == "info":
+        trace = load_trace(args.path)
+        print(trace.describe())
+        histogram = sorted(trace.size_histogram().items())
+        print(f"size histogram (first 10 of {len(histogram)}): {histogram[:10]}")
+        return 0
+
+    # replay
+    from repro.core.factories import make_full_ct, make_jet
+    from repro.ch import rows_for
+
+    trace = load_trace(args.path)
+    working = [f"s{i}" for i in range(args.servers)]
+    horizon = [f"h{i}" for i in range(args.horizon)]
+    kwargs = {}
+    if args.family == "table":
+        kwargs["rows"] = rows_for(args.servers)
+    if args.family == "anchor":
+        kwargs["capacity"] = 2 * (args.servers + args.horizon)
+    if args.mode == "jet":
+        balancer = make_jet(args.family, working, horizon, **kwargs)
+    else:
+        if args.family == "maglev":
+            balancer = make_full_ct("maglev", working)
+        else:
+            balancer = make_full_ct(args.family, working, horizon, **kwargs)
+    outcome = replay(trace, balancer)
+    print(outcome.row())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JET (CoNEXT 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a paper table/figure")
+    exp.add_argument(
+        "name",
+        choices=[
+            "fig3", "fig4", "fig5", "fig6", "fig7",
+            "table1", "table2", "theory", "extensions", "lbpool", "all",
+        ],
+    )
+    exp.add_argument("--scale", choices=["smoke", "default", "paper"], default=None)
+    exp.set_defaults(func=_experiment)
+
+    sim = sub.add_parser("simulate", help="run one event-driven simulation")
+    sim.add_argument("--mode", choices=["jet", "full", "stateless", "p2c"], default="jet")
+    sim.add_argument("--family", default="anchor",
+                     choices=["hrw", "ring", "ring-incremental", "table", "anchor"])
+    sim.add_argument("--servers", type=int, default=100)
+    sim.add_argument("--horizon", type=int, default=10)
+    sim.add_argument("--rate", type=float, default=1000.0,
+                     help="nominal concurrent connections")
+    sim.add_argument("--duration", type=float, default=60.0)
+    sim.add_argument("--update-rate", type=float, default=10.0,
+                     help="server removals per minute")
+    sim.add_argument("--downtime", type=float, default=10.0,
+                     help="median server downtime (seconds)")
+    sim.add_argument("--ct-size", type=int, default=None)
+    sim.add_argument("--ct-policy", choices=["lru", "fifo", "random", "ttl"], default="lru")
+    sim.add_argument("--ct-ttl", type=float, default=None)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=_simulate)
+
+    trace = sub.add_parser("trace", help="generate / inspect / replay traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    gen = trace_sub.add_parser("generate")
+    gen.add_argument("kind", choices=["zipf", "uni1", "ny18"])
+    gen.add_argument("--skew", type=float, default=1.0)
+    gen.add_argument("--packets", type=int, default=1_000_000)
+    gen.add_argument("--population", type=int, default=None)
+    gen.add_argument("--trace-scale", type=float, default=0.05)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", default=None)
+
+    info = trace_sub.add_parser("info")
+    info.add_argument("path")
+
+    rep = trace_sub.add_parser("replay")
+    rep.add_argument("path")
+    rep.add_argument("--family", default="anchor",
+                     choices=["hrw", "ring", "ring-incremental", "table", "anchor", "maglev"])
+    rep.add_argument("--mode", choices=["jet", "full"], default="jet")
+    rep.add_argument("--servers", type=int, default=50)
+    rep.add_argument("--horizon", type=int, default=5)
+    trace.set_defaults(func=_trace)
+
+    ver = sub.add_parser("version", help="print the package version")
+    ver.set_defaults(func=lambda _args: (print(__import__("repro").__version__), 0)[1])
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""JET with consistent hashing and bounded loads (CH-BL).
+
+Section 6.3 points at load-aware dispatching and cites Mirrokni et al.'s
+*Consistent Hashing with Bounded Loads*: cap every server at
+``ceil((1 + epsilon) * connections / servers)`` and cascade overflowing
+keys to the next candidate in ring order.  This module integrates CH-BL
+with JET the same way :mod:`repro.core.load_aware` integrates
+power-of-2-choices:
+
+- the cascade runs only for packets flagged ``new_connection`` (TCP SYN);
+  mid-connection packets of untracked flows take the plain CH result,
+  which Theorem 4.4 keeps stable -- the PCC-soundness condition;
+- a connection is tracked iff it is CH-unsafe **or** its placement
+  deviated from the plain CH result (an overflowed, cascaded key), since
+  a deviated placement cannot be recomputed from the hash alone.
+
+Tracking cost: at most the overflow fraction (bounded by epsilon's tail
+bound, typically a few percent for epsilon = 0.25) on top of JET's
+|H|/(|W|+|H|) -- far below the ~50 % of power-of-2-choices, at the price
+of a weaker balance target (a hard cap rather than near-perfect spread).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.ch.ring import RingHash
+from repro.core.interfaces import LoadBalancer, Name
+from repro.ct.base import ConnectionTracker
+from repro.ct.unbounded import UnboundedCT
+
+
+class BoundedLoadJET(LoadBalancer):
+    """JET over Ring CH-BL: hard per-server connection caps."""
+
+    dispatches_new_connections = True
+
+    def __init__(
+        self,
+        ch: RingHash,
+        ct: Optional[ConnectionTracker] = None,
+        epsilon: float = 0.25,
+        active_cleanup: bool = True,
+    ):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.ch = ch
+        self.ct = ct if ct is not None else UnboundedCT()
+        self.epsilon = epsilon
+        self.active_cleanup = active_cleanup
+        self._working: Set[Name] = set(ch.working)
+        self.load: Dict[Name, int] = {name: 0 for name in self._working}
+        self._active = 0
+        self.cascaded = 0  # connections placed off their CH choice
+
+    # ---------------------------------------------------------- capacity
+    def capacity(self) -> int:
+        """Current per-server cap: ceil((1+eps) * (active+1) / n)."""
+        n = max(len(self._working), 1)
+        return math.ceil((1 + self.epsilon) * (self._active + 1) / n)
+
+    # ------------------------------------------------------------ packet
+    def get_destination(self, key_hash: int, new_connection: bool = False) -> Name:
+        destination = self.ct.get(key_hash)
+        if destination is not None:
+            if destination in self._working:
+                return destination
+            self.ct.delete(key_hash)
+        ch_choice, unsafe = self.ch.lookup_with_safety(key_hash)
+        if not new_connection:
+            if unsafe:
+                self.ct.put(key_hash, ch_choice)
+            return ch_choice
+        cap = self.capacity()
+        chosen = ch_choice
+        if self.load.get(ch_choice, 0) >= cap:
+            for candidate in self.ch.iter_successors(key_hash):
+                if self.load.get(candidate, 0) < cap:
+                    chosen = candidate
+                    break
+            # (all full can't happen: cap * n > active by construction)
+        if chosen != ch_choice:
+            self.cascaded += 1
+        if unsafe or chosen != ch_choice:
+            self.ct.put(key_hash, chosen)
+        return chosen
+
+    # -------------------------------------------------- load accounting
+    def note_flow_start(self, destination: Name) -> None:
+        self.load[destination] = self.load.get(destination, 0) + 1
+        self._active += 1
+
+    def note_flow_end(self, destination: Name) -> None:
+        current = self.load.get(destination, 0)
+        if current > 0:
+            self.load[destination] = current - 1
+            self._active -= 1
+
+    def max_load(self) -> int:
+        return max(self.load.values()) if self.load else 0
+
+    # -------------------------------------------------- backend changes
+    def add_working_server(self, name: Name) -> None:
+        self.ch.add_working(name)
+        self._working.add(name)
+        self.load.setdefault(name, 0)
+
+    def remove_working_server(self, name: Name) -> None:
+        self.ch.remove_working(name)
+        self._working.discard(name)
+        orphaned = self.load.pop(name, 0)
+        self._active -= orphaned  # those connections are inevitably broken
+        if self.active_cleanup:
+            self.ct.invalidate_destination(name)
+
+    def add_horizon_server(self, name: Name) -> None:
+        self.ch.add_horizon(name)
+
+    def remove_horizon_server(self, name: Name) -> None:
+        self.ch.remove_horizon(name)
+
+    def force_add_working_server(self, name: Name) -> None:
+        self.ch.force_add_working(name)
+        self._working.add(name)
+        self.load.setdefault(name, 0)
+
+    # ------------------------------------------------------------- state
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return frozenset(self._working)
+
+    @property
+    def tracked_connections(self) -> int:
+        return len(self.ct)

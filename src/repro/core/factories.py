@@ -1,0 +1,86 @@
+"""Convenience constructors for the paper's LB configurations.
+
+The fused pseudo-codes of the paper map onto (CH family, LB wrapper) pairs:
+
+=============  =======================================  ==================
+Paper          Factory call                             Composition
+=============  =======================================  ==================
+Algorithm 2    ``make_jet("hrw", ...)``                 JET + HRWHash
+Algorithm 3    ``make_jet("ring", ...)``                JET + RingHash
+Algorithm 4    ``make_jet("table", ...)``               JET + TableHRWHash
+Algorithm 5    ``make_jet("anchor", ...)``              JET + AnchorHash
+Section 3.6    ``make_full_ct("maglev", ...)``          FullCT + MaglevHash
+=============  =======================================  ==================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ch import (
+    AnchorHash,
+    HRWHash,
+    JET_FAMILIES,
+    MaglevHash,
+    RingHash,
+    TableHRWHash,
+)
+from repro.core.full_ct import FullCTLoadBalancer
+from repro.core.interfaces import Name
+from repro.core.jet import JETLoadBalancer
+from repro.ct import make_ct
+from repro.ct.base import ConnectionTracker
+
+
+def make_ch(family: str, working: Iterable[Name], horizon: Iterable[Name] = (), **kwargs):
+    """Build a CH module by family name ("hrw", "ring", "table", "anchor",
+    "maglev").  Extra kwargs reach the CH constructor (e.g. ``rows=...``,
+    ``virtual_nodes=...``, ``capacity=...``, ``table_size=...``)."""
+    if family == "maglev":
+        if horizon:
+            raise ValueError("MaglevHash cannot take a horizon (paper Section 3.6)")
+        return MaglevHash(working, **kwargs)
+    try:
+        cls = JET_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown CH family {family!r}; choose from "
+            f"{sorted(JET_FAMILIES) + ['maglev']}"
+        ) from None
+    return cls(working=working, horizon=horizon, **kwargs)
+
+
+def make_jet(
+    family: str,
+    working: Iterable[Name],
+    horizon: Iterable[Name],
+    ct: Optional[ConnectionTracker] = None,
+    ct_capacity: Optional[int] = None,
+    ct_policy: str = "lru",
+    **ch_kwargs,
+) -> JETLoadBalancer:
+    """Build a JET load balancer (Algorithms 1-5) for a CH family."""
+    ch = make_ch(family, working, horizon, **ch_kwargs)
+    if ct is None:
+        ct = make_ct(ct_capacity, ct_policy)
+    return JETLoadBalancer(ch, ct)
+
+
+def make_full_ct(
+    family: str,
+    working: Iterable[Name],
+    horizon: Iterable[Name] = (),
+    ct: Optional[ConnectionTracker] = None,
+    ct_capacity: Optional[int] = None,
+    ct_policy: str = "lru",
+    **ch_kwargs,
+) -> FullCTLoadBalancer:
+    """Build a full-CT baseline LB.
+
+    Passing a ``horizon`` (ignored by the tracking logic) keeps the CH state
+    machine identical to a paired JET run, which Proposition 4.1 requires.
+    """
+    ch = make_ch(family, working, horizon, **ch_kwargs)
+    if ct is None:
+        ct = make_ct(ct_capacity, ct_policy)
+    return FullCTLoadBalancer(ch, ct)

@@ -1,0 +1,92 @@
+"""Full connection tracking -- the stateful-LB baseline (Ananta, Maglev,
+Katran style).
+
+Every connection's destination is recorded on its first packet, and every
+subsequent packet is served from the CT table.  With an unbounded table and
+a consistent hash this preserves PCC perfectly; with a bounded table,
+evicted-but-alive connections break when the backend has changed since
+their arrival -- the full-CT bars of Fig. 3.
+
+The baseline accepts either a plain :class:`~repro.ch.base.ConsistentHash`
+(e.g. MaglevHash) or a :class:`~repro.ch.base.HorizonConsistentHash`.  In
+the latter case backend events are applied through the *same* horizon
+protocol JET uses, so a paired JET/full-CT run drives byte-identical CH
+state -- the setup Proposition 4.1 compares.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from repro.ch.base import ConsistentHash, HorizonConsistentHash
+from repro.core.interfaces import LoadBalancer, Name
+from repro.ct.base import ConnectionTracker
+from repro.ct.unbounded import UnboundedCT
+
+
+class FullCTLoadBalancer(LoadBalancer):
+    """Hash-based stateful LB that tracks every connection."""
+
+    def __init__(
+        self,
+        ch: ConsistentHash,
+        ct: Optional[ConnectionTracker] = None,
+        active_cleanup: bool = True,
+    ):
+        self.ch = ch
+        self.ct = ct if ct is not None else UnboundedCT()
+        self.active_cleanup = active_cleanup
+        self._horizon_aware = isinstance(ch, HorizonConsistentHash)
+        self._working: Set[Name] = set(ch.working)
+
+    # ----------------------------------------------------------- packet
+    def get_destination(self, key_hash: int) -> Name:
+        destination = self.ct.get(key_hash)
+        if destination is not None:
+            if destination in self._working:
+                return destination
+            self.ct.delete(key_hash)
+        destination = self.ch.lookup(key_hash)
+        self.ct.put(key_hash, destination)  # track unconditionally
+        return destination
+
+    # -------------------------------------------------- backend changes
+    def add_working_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.add_working(name)
+        else:
+            self.ch.add(name)
+        self._working.add(name)
+
+    def remove_working_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.remove_working(name)
+        else:
+            self.ch.remove(name)
+        self._working.discard(name)
+        if self.active_cleanup:
+            self.ct.invalidate_destination(name)
+
+    def add_horizon_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.add_horizon(name)
+
+    def remove_horizon_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.remove_horizon(name)
+
+    def force_add_working_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.force_add_working(name)
+        else:
+            self.ch.add(name)
+        self._working.add(name)
+
+    # ------------------------------------------------------------ state
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return frozenset(self._working)
+
+    @property
+    def tracked_connections(self) -> int:
+        return len(self.ct)

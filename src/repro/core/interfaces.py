@@ -1,0 +1,52 @@
+"""Load-balancer interface shared by JET and the baselines.
+
+A load balancer in this library is the *decision* component of an L4 LB:
+it maps the (pre-hashed) connection identifier of each arriving packet to a
+backend server, and it is told about backend change events.  The interface
+mirrors Algorithm 1's five entry points plus ``force_add_working_server``
+(an addition that bypasses the horizon -- see
+:meth:`repro.ch.base.HorizonConsistentHash.force_add_working`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Hashable
+
+Name = Hashable
+
+
+class LoadBalancer(ABC):
+    """Per-packet destination chooser with backend-change notifications."""
+
+    @abstractmethod
+    def get_destination(self, key_hash: int) -> Name:
+        """Destination server for a packet of connection ``key_hash``."""
+
+    @abstractmethod
+    def add_working_server(self, name: Name) -> None:
+        """ADDWORKINGSERVER: admit ``name`` (from the horizon if one exists)."""
+
+    @abstractmethod
+    def remove_working_server(self, name: Name) -> None:
+        """REMOVEWORKINGSERVER: remove ``name`` from the working set."""
+
+    def add_horizon_server(self, name: Name) -> None:
+        """ADDHORIZONSERVER (no-op for horizon-less balancers)."""
+
+    def remove_horizon_server(self, name: Name) -> None:
+        """REMOVEHORIZONSERVER (no-op for horizon-less balancers)."""
+
+    def force_add_working_server(self, name: Name) -> None:
+        """Add a server that was never announced via the horizon."""
+        self.add_working_server(name)
+
+    @property
+    @abstractmethod
+    def working(self) -> FrozenSet[Name]:
+        """Current working set."""
+
+    @property
+    def tracked_connections(self) -> int:
+        """Number of connections currently tracked (0 for stateless LBs)."""
+        return 0

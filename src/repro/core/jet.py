@@ -1,0 +1,98 @@
+"""JET -- Algorithm 1 of the paper.
+
+``JETLoadBalancer`` composes the two pluggable modules:
+
+- **CH**: any :class:`~repro.ch.base.HorizonConsistentHash`.  Its
+  ``lookup_with_safety`` fuses lines 4-5 of Algorithm 1 the way each of
+  Algorithms 2-5 does for its hash family (HRW weight comparison, ring
+  track-flags, TR table, anchor-path inspection) -- so this single class
+  *is* JET-HRW / JET-Ring / JET-Table / JET-AnchorHash depending on the CH
+  plugged in (see :mod:`repro.core.factories`).
+
+- **CT**: any :class:`~repro.ct.base.ConnectionTracker`.  Only *unsafe*
+  connections enter it (line 6).
+
+Removed-destination hygiene follows footnote 3: on ``remove_working_server``
+the table is cleaned either actively (drop all entries pointing at the dead
+server) or lazily (validate on hit); both prevent a stale CT entry from
+pinning a connection to a removed backend.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from repro.ch.base import HorizonConsistentHash
+from repro.core.interfaces import LoadBalancer, Name
+from repro.ct.base import ConnectionTracker
+from repro.ct.unbounded import UnboundedCT
+
+
+class JETLoadBalancer(LoadBalancer):
+    """Just Enough Tracking over a horizon-aware consistent hash."""
+
+    def __init__(
+        self,
+        ch: HorizonConsistentHash,
+        ct: Optional[ConnectionTracker] = None,
+        active_cleanup: bool = True,
+    ):
+        self.ch = ch
+        self.ct = ct if ct is not None else UnboundedCT()
+        self.active_cleanup = active_cleanup
+        # Mirror of ch.working with O(1) membership, for lazy CT validation.
+        self._working: Set[Name] = set(ch.working)
+
+    # ------------------------------------------------------ Algorithm 1
+    def get_destination(self, key_hash: int) -> Name:
+        """GETDESTINATION (Algorithm 1 lines 1-7)."""
+        destination = self.ct.get(key_hash)
+        if destination is not None:
+            if destination in self._working:
+                return destination
+            # Lazy cleanup: tracked destination has been removed.
+            self.ct.delete(key_hash)
+        destination, unsafe = self.ch.lookup_with_safety(key_hash)
+        if unsafe:
+            self.ct.put(key_hash, destination)
+        return destination
+
+    # -------------------------------------------------- backend changes
+    def add_working_server(self, name: Name) -> None:
+        """ADDWORKINGSERVER (lines 8-10): ``name`` must be in the horizon."""
+        self.ch.add_working(name)
+        self._working.add(name)
+
+    def remove_working_server(self, name: Name) -> None:
+        """REMOVEWORKINGSERVER (lines 11-13): ``name`` joins the horizon."""
+        self.ch.remove_working(name)
+        self._working.discard(name)
+        if self.active_cleanup:
+            self.ct.invalidate_destination(name)
+
+    def add_horizon_server(self, name: Name) -> None:
+        """ADDHORIZONSERVER (line 14)."""
+        self.ch.add_horizon(name)
+
+    def remove_horizon_server(self, name: Name) -> None:
+        """REMOVEHORIZONSERVER (line 15)."""
+        self.ch.remove_horizon(name)
+
+    def force_add_working_server(self, name: Name) -> None:
+        """Unanticipated addition (violates the Section 2.3 contract; JET's
+        PCC guarantee does not cover connections unsafe w.r.t. this server)."""
+        self.ch.force_add_working(name)
+        self._working.add(name)
+
+    # ------------------------------------------------------------ state
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return frozenset(self._working)
+
+    @property
+    def horizon(self) -> FrozenSet[Name]:
+        return self.ch.horizon
+
+    @property
+    def tracked_connections(self) -> int:
+        return len(self.ct)

@@ -1,0 +1,127 @@
+"""LB pools -- the Section 6.2 multi-balancer deployment model.
+
+Datacenters run many LB instances behind ECMP: the router hashes each
+packet's flow onto one of the live LBs.  Connection-tracking state is
+*per-LB*, so when the LB pool itself changes, ECMP re-steers a slice of
+the traffic onto LBs that have never seen those flows.  A re-steered
+connection breaks iff the current ``CH(W, k)`` disagrees with its true
+destination and the new LB has no CT entry for it -- Section 6.2's
+observation, true for full CT and JET alike.
+
+Two mitigations are modeled:
+
+- **none** -- independent CTs (the default, and the §6.2 failure mode);
+- **sync** -- every CT insert is replicated to all pool members.  "If
+  synchronization is employed, JET's smaller CT size means that a smaller
+  state needs to be synchronized": the pool counts replicated entries so
+  experiments can quantify exactly that.
+
+ECMP steering is hash-mod-n over the live LB list (the common router
+behaviour, deliberately *not* consistent: that is what makes pool changes
+disruptive).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List
+
+from repro.core.interfaces import LoadBalancer, Name
+from repro.hashing.mix import fmix64
+
+BalancerFactory = Callable[[], LoadBalancer]
+
+
+class LBPool(LoadBalancer):
+    """A pool of LB replicas behind hash-mod-n ECMP steering."""
+
+    def __init__(
+        self,
+        factory: BalancerFactory,
+        size: int,
+        sync: bool = False,
+    ):
+        if size < 1:
+            raise ValueError("pool needs at least one LB instance")
+        self._factory = factory
+        self.sync = sync
+        self.members: List[LoadBalancer] = [factory() for _ in range(size)]
+        #: CT entries replicated between members (the §6.2 sync cost).
+        self.synced_entries = 0
+        # Backend changes applied so far; replayed onto late-joining LBs so
+        # every member agrees on (W, H) -- the paper's standing assumption
+        # that all LBs see the same backend state.
+        self._event_log: List[tuple] = []
+
+    # ------------------------------------------------------------ steer
+    def _steer(self, key_hash: int) -> LoadBalancer:
+        """ECMP: pick the serving LB for this flow (mod over live LBs)."""
+        return self.members[fmix64(key_hash ^ 0x9E6C_63D0_876A_3F6B) % len(self.members)]
+
+    # ----------------------------------------------------------- packet
+    def get_destination(self, key_hash: int) -> Name:
+        member = self._steer(key_hash)
+        before = member.tracked_connections
+        destination = member.get_destination(key_hash)
+        if self.sync and member.tracked_connections > before:
+            # The member just started tracking this connection; replicate.
+            for other in self.members:
+                if other is not member:
+                    other.ct.put(key_hash, destination)
+                    self.synced_entries += 1
+        return destination
+
+    # ----------------------------------------------------- pool changes
+    def add_lb(self) -> LoadBalancer:
+        """Grow the pool.  ECMP re-steers ~all flows (mod-n!); without
+        sync, flows landing on the new LB lose their CT protection."""
+        member = self._factory()
+        for method, name in self._event_log:
+            getattr(member, method)(name)
+        if self.sync and self.members:
+            donor = self.members[0]
+            for key in donor.ct:
+                member.ct.put(key, donor.ct.peek(key))
+                self.synced_entries += 1
+        self.members.append(member)
+        return member
+
+    def remove_lb(self, index: int = -1) -> None:
+        """Shrink the pool (LB failure or scale-in)."""
+        if len(self.members) <= 1:
+            raise ValueError("cannot remove the last LB instance")
+        self.members.pop(index)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    # ------------------------------------------------- backend changes
+    def _broadcast(self, method: str, name: Name) -> None:
+        for member in self.members:
+            getattr(member, method)(name)
+        self._event_log.append((method, name))
+
+    def add_working_server(self, name: Name) -> None:
+        self._broadcast("add_working_server", name)
+
+    def remove_working_server(self, name: Name) -> None:
+        self._broadcast("remove_working_server", name)
+
+    def add_horizon_server(self, name: Name) -> None:
+        self._broadcast("add_horizon_server", name)
+
+    def remove_horizon_server(self, name: Name) -> None:
+        self._broadcast("remove_horizon_server", name)
+
+    def force_add_working_server(self, name: Name) -> None:
+        self._broadcast("force_add_working_server", name)
+
+    # ------------------------------------------------------------ state
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return self.members[0].working
+
+    @property
+    def tracked_connections(self) -> int:
+        """Total CT entries across the pool (the aggregate memory bill)."""
+        return sum(member.tracked_connections for member in self.members)

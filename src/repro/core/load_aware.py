@@ -1,0 +1,134 @@
+"""Load-aware JET -- the Section 6.3 power-of-2-choices extension.
+
+The paper sketches ("naive integration") how JET can coexist with
+power-of-choice dispatching: for a new connection, the CH result serves as
+one of the two candidate servers; the second candidate is an independent
+hash.  The less-loaded candidate wins, and the connection is tracked if it
+is CH-unsafe *or* the winner disagrees with the plain CH result (because
+then the decision is no longer reproducible from the hash alone).
+
+Expected tracking: ~1/2 of connections pick the non-CH candidate, so JET
+still saves "up to 50 % of CT table sizes" versus full CT -- the claim
+``benchmarks/bench_extensions.py`` measures.
+
+The load-aware choice runs only for packets flagged as *new connections*
+(``new_connection=True``) -- an L4 LB identifies these by the TCP SYN bit.
+This is what keeps the scheme PCC-consistent: a load-dependent decision is
+not reproducible from the hash alone, so re-running it on later packets of
+an untracked connection could silently reroute it.  Non-SYN packets of
+untracked connections always follow the plain CH result, which Theorem 4.4
+guarantees to be stable for safe connections.
+
+Load is the number of active connections per server, maintained by the
+balancer itself via ``note_flow_start`` / ``note_flow_end`` callbacks from
+the flow source (the simulator or replayer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.ch.base import HorizonConsistentHash
+from repro.core.interfaces import LoadBalancer, Name
+from repro.ct.base import ConnectionTracker
+from repro.ct.unbounded import UnboundedCT
+from repro.hashing.mix import fmix64
+
+
+class PowerOfTwoJET(LoadBalancer):
+    """JET with power-of-2-choices placement for new connections."""
+
+    #: Capability flag: replayers/simulators should pass
+    #: ``new_connection=True`` for a flow's first packet (TCP SYN).
+    dispatches_new_connections = True
+
+    def __init__(
+        self,
+        ch: HorizonConsistentHash,
+        ct: Optional[ConnectionTracker] = None,
+        active_cleanup: bool = True,
+    ):
+        self.ch = ch
+        self.ct = ct if ct is not None else UnboundedCT()
+        self.active_cleanup = active_cleanup
+        self._working: Set[Name] = set(ch.working)
+        self._order: List[Name] = sorted(self._working, key=repr)
+        self.load: Dict[Name, int] = {name: 0 for name in self._working}
+
+    # ----------------------------------------------------------- packet
+    def get_destination(self, key_hash: int, new_connection: bool = False) -> Name:
+        destination = self.ct.get(key_hash)
+        if destination is not None:
+            if destination in self._working:
+                return destination
+            self.ct.delete(key_hash)
+        ch_choice, unsafe = self.ch.lookup_with_safety(key_hash)
+        if not new_connection:
+            # Mid-connection packet of an untracked flow: plain JET path.
+            if unsafe:
+                self.ct.put(key_hash, ch_choice)
+            return ch_choice
+        alternative = self._second_choice(key_hash)
+        chosen = ch_choice
+        if alternative != ch_choice and self.load[alternative] < self.load[ch_choice]:
+            chosen = alternative
+        if unsafe or chosen != ch_choice:
+            # Track when the decision is not reproducible from the hash
+            # alone (load-dependent pick) or not stable under the horizon.
+            self.ct.put(key_hash, chosen)
+        return chosen
+
+    def _second_choice(self, key_hash: int) -> Name:
+        """Independent uniform candidate among working servers."""
+        return self._order[fmix64(key_hash ^ 0xD6E8_FEB8_6659_FD93) % len(self._order)]
+
+    # -------------------------------------------------- load accounting
+    def note_flow_start(self, destination: Name) -> None:
+        self.load[destination] = self.load.get(destination, 0) + 1
+
+    def note_flow_end(self, destination: Name) -> None:
+        current = self.load.get(destination, 0)
+        if current > 0:
+            self.load[destination] = current - 1
+
+    def max_load(self) -> int:
+        return max(self.load.values()) if self.load else 0
+
+    # -------------------------------------------------- backend changes
+    def _sync_order(self) -> None:
+        self._order = sorted(self._working, key=repr)
+
+    def add_working_server(self, name: Name) -> None:
+        self.ch.add_working(name)
+        self._working.add(name)
+        self.load.setdefault(name, 0)
+        self._sync_order()
+
+    def remove_working_server(self, name: Name) -> None:
+        self.ch.remove_working(name)
+        self._working.discard(name)
+        self.load.pop(name, None)
+        self._sync_order()
+        if self.active_cleanup:
+            self.ct.invalidate_destination(name)
+
+    def add_horizon_server(self, name: Name) -> None:
+        self.ch.add_horizon(name)
+
+    def remove_horizon_server(self, name: Name) -> None:
+        self.ch.remove_horizon(name)
+
+    def force_add_working_server(self, name: Name) -> None:
+        self.ch.force_add_working(name)
+        self._working.add(name)
+        self.load.setdefault(name, 0)
+        self._sync_order()
+
+    # ------------------------------------------------------------ state
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return frozenset(self._working)
+
+    @property
+    def tracked_connections(self) -> int:
+        return len(self.ct)

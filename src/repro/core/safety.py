@@ -1,0 +1,98 @@
+"""The connection-safety model of Section 2.1.
+
+For a backend change event, active connections fall into exactly one of
+three categories:
+
+- **inevitably broken** -- the event removes their true destination;
+- **safe** -- the decision rule still agrees with their true destination
+  after the event;
+- **unsafe** -- the decision rule disagrees after the event; they break
+  unless tracked.
+
+This module classifies a population of connections for a concrete event,
+against any LB decision rule expressed as a lookup callable.  It is the
+ground truth the theory experiments and the simulator's accounting are
+validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Hashable, Set
+
+Name = Hashable
+
+
+class SafetyClass(Enum):
+    """Section 2.1 connection categories."""
+
+    SAFE = "safe"
+    UNSAFE = "unsafe"
+    INEVITABLY_BROKEN = "inevitably_broken"
+
+
+@dataclass
+class SafetyReport:
+    """Classification of a key population around one backend change."""
+
+    safe: Set[int] = field(default_factory=set)
+    unsafe: Set[int] = field(default_factory=set)
+    inevitably_broken: Set[int] = field(default_factory=set)
+
+    @property
+    def total(self) -> int:
+        return len(self.safe) + len(self.unsafe) + len(self.inevitably_broken)
+
+    @property
+    def unsafe_fraction(self) -> float:
+        """Unsafe share among connections the event could possibly affect
+        (inevitably broken ones are excluded per Section 2.1)."""
+        considered = len(self.safe) + len(self.unsafe)
+        return len(self.unsafe) / considered if considered else 0.0
+
+    def classify(self, key: int) -> SafetyClass:
+        if key in self.inevitably_broken:
+            return SafetyClass.INEVITABLY_BROKEN
+        if key in self.unsafe:
+            return SafetyClass.UNSAFE
+        if key in self.safe:
+            return SafetyClass.SAFE
+        raise KeyError(f"key {key} was not classified")
+
+
+def classify_event(
+    true_destinations: Dict[int, Name],
+    rule_after: Callable[[int], Name],
+    removed: Name = None,
+) -> SafetyReport:
+    """Classify connections for one backend change.
+
+    ``true_destinations`` maps each active connection key to the
+    destination its *first packet* received (its true destination);
+    ``rule_after`` is the LB decision rule evaluated in the post-event
+    state; ``removed`` names the removed server for removal events (None
+    for additions, which never inevitably break anything).
+    """
+    report = SafetyReport()
+    for key, true_destination in true_destinations.items():
+        if removed is not None and true_destination == removed:
+            report.inevitably_broken.add(key)
+        elif rule_after(key) == true_destination:
+            report.safe.add(key)
+        else:
+            report.unsafe.add(key)
+    return report
+
+
+def classify_for_horizon(
+    true_destinations: Dict[int, Name],
+    lookup_union: Callable[[int], Name],
+) -> SafetyReport:
+    """Classify connections against the *whole-horizon* addition event.
+
+    This is the event class JET tracks for: by Theorem 4.4, a connection is
+    safe for every admission order/subset iff ``CH(W ∪ H, k)`` matches its
+    true destination.  No connection is inevitably broken by additions.
+    """
+    return classify_event(true_destinations, lookup_union, removed=None)

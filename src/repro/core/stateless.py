@@ -1,0 +1,60 @@
+"""Stateless hash LB -- no connection tracking at all.
+
+The Section 2 "static setting" baseline: apply the hash on every packet.
+PCC holds only while the backend is static; every unsafe connection breaks
+on the first backend change.  Useful as the lower envelope in PCC plots and
+to sanity-check the simulator (its violation count should match the
+number of unsafe connections the safety model predicts).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.ch.base import ConsistentHash, HorizonConsistentHash
+from repro.core.interfaces import LoadBalancer, Name
+
+
+class StatelessLoadBalancer(LoadBalancer):
+    """Pure hash dispatching; remembers nothing about connections."""
+
+    def __init__(self, ch: ConsistentHash):
+        self.ch = ch
+        self._horizon_aware = isinstance(ch, HorizonConsistentHash)
+        self._working: Set[Name] = set(ch.working)
+
+    def get_destination(self, key_hash: int) -> Name:
+        return self.ch.lookup(key_hash)
+
+    def add_working_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.add_working(name)
+        else:
+            self.ch.add(name)
+        self._working.add(name)
+
+    def remove_working_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.remove_working(name)
+        else:
+            self.ch.remove(name)
+        self._working.discard(name)
+
+    def add_horizon_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.add_horizon(name)
+
+    def remove_horizon_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.remove_horizon(name)
+
+    def force_add_working_server(self, name: Name) -> None:
+        if self._horizon_aware:
+            self.ch.force_add_working(name)
+        else:
+            self.ch.add(name)
+        self._working.add(name)
+
+    @property
+    def working(self) -> FrozenSet[Name]:
+        return frozenset(self._working)

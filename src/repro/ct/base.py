@@ -1,0 +1,92 @@
+"""Connection-tracking (CT) table interfaces.
+
+The CT module of Algorithm 1: ``CT[k]`` stores the chosen destination of a
+tracked connection; ``NIL`` (None here) means untracked, evicted, or
+destination-removed.  Real LBs bound the table and *evict* under pressure
+(Section 5: "the eviction policy attempts to limit the CT table size by
+heuristically evicting ... if these connections are still alive, it may
+cause PCC violations").  We provide the paper's LRU policy plus FIFO and
+random eviction for ablations, and an unbounded table for the trace
+evaluations (Tables 1-2 let the CT "grow as needed").
+
+All tables key on the pre-hashed 64-bit connection identifier, matching how
+the CH modules consume keys.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Optional
+
+Destination = Hashable
+
+
+@dataclass
+class CTStats:
+    """Counters a CT table maintains for evaluation."""
+
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    peak_size: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ConnectionTracker(ABC):
+    """A destination cache keyed by connection identifier hash."""
+
+    def __init__(self) -> None:
+        self.stats = CTStats()
+
+    @abstractmethod
+    def get(self, key: int) -> Optional[Destination]:
+        """Return the tracked destination, or None if untracked."""
+
+    @abstractmethod
+    def put(self, key: int, destination: Destination) -> None:
+        """Track ``key``'s destination, evicting if the table is full."""
+
+    @abstractmethod
+    def delete(self, key: int) -> bool:
+        """Forget ``key``; True if it was tracked."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of tracked connections."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over tracked keys (no particular order guaranteed)."""
+
+    def invalidate_destination(self, destination: Destination) -> int:
+        """Drop every entry pointing at ``destination``.
+
+        Footnote 3 of the paper: when a working server is removed, all of
+        its connections are inevitably broken and the table "can be cleaned
+        from such connections (in an active or a lazy manner)".  This is the
+        active variant; returns the number of entries dropped.
+        """
+        victims = [key for key in self if self.peek(key) == destination]
+        for key in victims:
+            self.delete(key)
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    @abstractmethod
+    def peek(self, key: int) -> Optional[Destination]:
+        """Like :meth:`get` but without touching stats or recency state."""
+
+    def _note_size(self) -> None:
+        size = len(self)
+        if size > self.stats.peak_size:
+            self.stats.peak_size = size

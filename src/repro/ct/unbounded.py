@@ -1,0 +1,45 @@
+"""Unbounded CT table: a plain dict, never evicts.
+
+Used by the trace evaluations (Tables 1-2), where the paper lets the CT
+"grow as needed (i.e., no flows are evicted from CT)" to isolate tracking
+volume from eviction effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.ct.base import ConnectionTracker, Destination
+
+
+class UnboundedCT(ConnectionTracker):
+    """Dictionary-backed CT with no capacity limit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._table: Dict[int, Destination] = {}
+
+    def get(self, key: int) -> Optional[Destination]:
+        self.stats.lookups += 1
+        destination = self._table.get(key)
+        if destination is not None:
+            self.stats.hits += 1
+        return destination
+
+    def put(self, key: int, destination: Destination) -> None:
+        if key not in self._table:
+            self.stats.inserts += 1
+        self._table[key] = destination
+        self._note_size()
+
+    def delete(self, key: int) -> bool:
+        return self._table.pop(key, None) is not None
+
+    def peek(self, key: int) -> Optional[Destination]:
+        return self._table.get(key)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(list(self._table))

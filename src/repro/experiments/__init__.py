@@ -1,0 +1,23 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module is runnable (``python -m repro.experiments.fig3``) and exposes
+a ``run_*`` function returning structured results; the ``benchmarks/``
+directory wraps these in pytest-benchmark targets.
+
+=================  ==========================================
+Module             Paper artifact
+=================  ==========================================
+``fig3``           Fig. 3  (PCC violations vs CT size / update rate)
+``fig4``           Fig. 4a+4b (PCC violations vs CT size / horizon)
+``fig5``           Fig. 5  (max oversubscription vs rates)
+``fig6``           Fig. 6a+6b (flow-size histograms)
+``fig7``           Fig. 7  (Zipf sweep: oversub / tracked / rate)
+``table12``        Tables 1-2 (UNI1-like, NY18-like traces)
+``theory``         Theorems 4.2-4.4, Prop. 4.1, Property 1, §2.4
+``extensions``     §6.1 batch changes, §6.3 load-aware JET
+=================  ==========================================
+"""
+
+from repro.experiments.scales import base_config, repeats, scale_name, trace_scale, zipf_params
+
+__all__ = ["base_config", "scale_name", "trace_scale", "zipf_params", "repeats"]

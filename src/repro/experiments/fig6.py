@@ -1,0 +1,72 @@
+"""Figure 6: flow-size histograms (log-log).
+
+(a) the two datacenter traces -- UNI1-like is more skewed than NY18-like:
+fewer flows and larger heavy hitters; (b) synthetic Zipf traces for skews
+0.6-1.4 -- higher skew concentrates packets on fewer, larger flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.stats import loglog_histogram
+from repro.experiments.report import banner, format_table, save_json
+from repro.experiments.scales import scale_name, trace_scale, zipf_params
+from repro.traces.synthetic_dc import ny18_like, uni1_like
+from repro.traces.zipf import PAPER_SKEWS, zipf_trace
+
+Series = List[Tuple[float, int]]
+
+
+def run_fig6a(scale: str = None, seed: int = 0) -> Dict[str, Series]:
+    """Histogram series for the UNI1-like and NY18-like traces."""
+    s = trace_scale(scale_name(scale))
+    return {
+        "UNI1": loglog_histogram(uni1_like(scale=s, seed=seed).size_histogram()),
+        "NY18": loglog_histogram(ny18_like(scale=s, seed=seed).size_histogram()),
+    }
+
+
+def run_fig6b(
+    scale: str = None, skews: Sequence[float] = PAPER_SKEWS, seed: int = 0
+) -> Dict[float, Series]:
+    """Histogram series for the Zipf traces across skews."""
+    params = zipf_params(scale_name(scale))
+    return {
+        skew: loglog_histogram(
+            zipf_trace(skew, seed=seed, **params).size_histogram()
+        )
+        for skew in skews
+    }
+
+
+def _series_rows(series: Series) -> List[List]:
+    return [[f"{center:.1f}", count] for center, count in series]
+
+
+def main(scale: str = None):
+    active = scale_name(scale)
+    a = run_fig6a(scale=active)
+    b = run_fig6b(scale=active)
+    print(banner(f"Figure 6a -- real-trace stand-in flow sizes [scale={active}]"))
+    for name, series in a.items():
+        print(f"\n{name} (log-binned flow size -> #flows):")
+        print(format_table(["size bin", "flows"], _series_rows(series)))
+    print(banner(f"Figure 6b -- Zipf flow sizes by skew [scale={active}]"))
+    for skew, series in b.items():
+        tail = series[-1][0] if series else 0
+        total = sum(count for _, count in series)
+        print(f"skew={skew}: {total:,} distinct flows, largest bin ~{tail:,.0f} pkts")
+    save_json(
+        "fig6",
+        {
+            "scale": active,
+            "fig6a": {k: v for k, v in a.items()},
+            "fig6b": {str(k): v for k, v in b.items()},
+        },
+    )
+    return a, b
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Experiment output: ASCII tables and JSON result archives.
+
+Every experiment module prints the same rows/series the paper reports and
+(best-effort) archives the raw numbers under ``results/`` so
+EXPERIMENTS.md can cite exact measured values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, List, Sequence
+
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([_cell(v) for v in row])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def save_json(name: str, payload: Any) -> Path:
+    """Archive a result payload; returns the path (best-effort on failure)."""
+    path = RESULTS_DIR / f"{name}.json"
+    try:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+    except OSError:
+        pass
+    return path
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}"

@@ -1,0 +1,83 @@
+"""Scale presets for the reproduction experiments.
+
+The paper's event-driven runs are 1000 s with ~100K concurrent connections
+over 468 servers (~5M connections, hundreds of millions of packets) -- a
+C++/laptop workload, not a pure-Python one.  Every experiment therefore
+runs at a configurable scale that preserves the *ratios* that drive the
+results (CT size / connection rate, horizon / backend size, flows per
+server), while shrinking absolute counts.
+
+Select with the ``REPRO_SCALE`` environment variable (``smoke``,
+``default``, ``paper``) or pass a preset name explicitly.  ``paper``
+reproduces the full published parameters; expect hours of runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.sim.distributions import LogNormal
+from repro.sim.scenario import SimulationConfig
+
+#: Simulation presets.  `connection_rate` follows the paper's convention
+#: (nominal concurrent connections); the horizon is 10% of the backend.
+#: Server down-times scale with the run length so that removed servers
+#: actually *recover* within the simulated window -- additions are the
+#: events that exercise JET's tracking (Section 2.2).
+SCALES: Dict[str, dict] = {
+    "smoke": dict(
+        duration_s=30.0, connection_rate=400.0, n_servers=60, horizon_size=6,
+        downtime_median=5.0,
+    ),
+    "default": dict(
+        duration_s=100.0, connection_rate=1500.0, n_servers=234, horizon_size=24,
+        downtime_median=12.0,
+    ),
+    "paper": dict(
+        duration_s=1000.0, connection_rate=100_000.0, n_servers=468, horizon_size=47,
+        downtime_median=60.0,
+    ),
+}
+
+#: Trace-generation scale per preset (fraction of the original captures).
+TRACE_SCALES: Dict[str, float] = {"smoke": 0.01, "default": 0.03, "paper": 1.0}
+
+#: Zipf trace sizing per preset (packets, flow population).
+ZIPF_SCALES: Dict[str, dict] = {
+    "smoke": dict(n_packets=100_000, population=50_000),
+    "default": dict(n_packets=400_000, population=150_000),
+    "paper": dict(n_packets=100_000_000, population=20_000_000),
+}
+
+#: Repetition counts (the paper uses 10 for trace experiments).
+REPEATS: Dict[str, int] = {"smoke": 2, "default": 3, "paper": 10}
+
+
+def scale_name(explicit: str = None) -> str:
+    """Resolve the active preset (explicit arg beats the environment)."""
+    name = explicit or os.environ.get("REPRO_SCALE", "default")
+    if name not in SCALES:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(SCALES)}")
+    return name
+
+
+def base_config(scale: str = None, **overrides) -> SimulationConfig:
+    """The preset's simulation config, with optional field overrides."""
+    params = dict(SCALES[scale_name(scale)])
+    downtime_median = params.pop("downtime_median")
+    params.setdefault("downtime_dist", LogNormal(median=downtime_median, sigma=0.8))
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+def trace_scale(scale: str = None) -> float:
+    return TRACE_SCALES[scale_name(scale)]
+
+
+def zipf_params(scale: str = None) -> dict:
+    return dict(ZIPF_SCALES[scale_name(scale)])
+
+
+def repeats(scale: str = None) -> int:
+    return REPEATS[scale_name(scale)]

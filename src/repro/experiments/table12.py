@@ -1,0 +1,80 @@
+"""Tables 1 and 2: evaluation over the UNI1 (IMC'10) and NY18 (CAIDA 2018)
+traces -- here their calibrated synthetic stand-ins (see
+``repro.traces.synthetic_dc`` and DESIGN.md for the substitution).
+
+Per trace and backend size n ∈ {50, 500}: maximum oversubscription, tracked
+connections, and packet rate for table-based HRW (full CT / JET), AnchorHash
+(full CT / JET), and MaglevHash (full CT), with an unbounded CT and a 10 %
+horizon.  Expected shapes:
+
+- tracked(JET) ≈ 10 % of tracked(full CT) = 10 % of the flow count,
+  insensitive to n and to the hash family;
+- oversubscription identical between JET and full CT per family; better
+  for AnchorHash/Maglev than table-HRW; worse at n=500 than n=50;
+- rate: Python measures interpreter costs, not cache residency, so only
+  the JET-vs-full *tracking* effects carry over (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.report import banner, format_table, save_json
+from repro.experiments.scales import repeats, scale_name, trace_scale
+from repro.experiments.trace_eval import TraceEvalCell, cells_to_payload, evaluate_trace
+from repro.traces.synthetic_dc import ny18_like, uni1_like
+
+PAPER_BACKEND_SIZES = (50, 500)
+
+
+def run_table(
+    which: str,
+    scale: str = None,
+    backend_sizes: Sequence[int] = PAPER_BACKEND_SIZES,
+    repetitions: int = None,
+    seed: int = 0,
+) -> Dict[int, List[TraceEvalCell]]:
+    """Run Table 1 (``which="uni1"``) or Table 2 (``which="ny18"``)."""
+    active = scale_name(scale)
+    if repetitions is None:
+        repetitions = repeats(active)
+    factory = {"uni1": uni1_like, "ny18": ny18_like}[which]
+    trace = factory(scale=trace_scale(active), seed=seed)
+    return {
+        n: evaluate_trace(trace, n, repetitions=repetitions)
+        for n in backend_sizes
+    }, trace
+
+
+def _print(which: str, title: str, scale: str = None):
+    active = scale_name(scale)
+    results, trace = run_table(which, scale=active)
+    print(banner(f"{title} [scale={active}]"))
+    print(trace.describe())
+    headers = ["n", "hash", "mode", "max oversub", "tracked", "rate [Mpps]"]
+    rows = [cell.row() for n in sorted(results) for cell in results[n]]
+    print(format_table(headers, rows))
+    save_json(
+        f"table_{which}",
+        {
+            "scale": active,
+            "trace": trace.describe(),
+            "cells": {str(n): cells_to_payload(cells) for n, cells in results.items()},
+        },
+    )
+    return results
+
+
+def main_table1(scale: str = None):
+    """Table 1 -- UNI1-like trace."""
+    return _print("uni1", "Table 1 -- UNI1-like trace evaluation", scale)
+
+
+def main_table2(scale: str = None):
+    """Table 2 -- NY18-like trace."""
+    return _print("ny18", "Table 2 -- NY18-like trace evaluation", scale)
+
+
+if __name__ == "__main__":
+    main_table1()
+    main_table2()

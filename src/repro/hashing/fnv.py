@@ -1,0 +1,25 @@
+"""FNV-1a 64-bit hash.
+
+A tiny, fast non-cryptographic hash used for short, low-entropy inputs such
+as server names, where its simplicity beats xxHash's setup cost.  Its output
+is always post-mixed (see :mod:`repro.hashing.keyed`) before being used as a
+weight, so FNV's known avalanche weaknesses do not leak into decisions.
+"""
+
+from repro.hashing.mix import MASK64
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a64(data: bytes, seed: int = _FNV_OFFSET) -> int:
+    """Compute the 64-bit FNV-1a hash of ``data``.
+
+    ``seed`` replaces the standard offset basis, which makes keyed variants
+    trivial (seed with a mixed server id to get an independent stream).
+    """
+    h = seed & MASK64
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & MASK64
+    return h

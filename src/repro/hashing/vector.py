@@ -1,0 +1,52 @@
+"""Vectorized (numpy) counterparts of the scalar mixers.
+
+Bit-identical to :mod:`repro.hashing.mix` over uint64 arrays -- the
+differential tests assert it -- so table-based CH structures can be built
+and updated with array operations instead of per-row Python loops.
+numpy's uint64 arithmetic wraps modulo 2^64, matching the masked scalar
+code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MM_M1 = np.uint64(0xFF51AFD7ED558CCD)
+_MM_M2 = np.uint64(0xC4CEB9FE1A85EC53)
+_S33 = np.uint64(33)
+
+
+def v_fmix64(x: np.ndarray) -> np.ndarray:
+    """MurmurHash3 finalizer over a uint64 array (new array returned)."""
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> _S33
+    x *= _MM_M1
+    x ^= x >> _S33
+    x *= _MM_M2
+    x ^= x >> _S33
+    return x
+
+
+def v_mix2(a: int, b: np.ndarray) -> np.ndarray:
+    """``mix2(a, b_i)`` for scalar ``a`` against an array ``b``."""
+    # Pre-wrap the scalar product in Python ints; numpy warns on scalar
+    # uint64 overflow even though the wraparound is exactly what we want.
+    seed_term = np.uint64((a * 0x9E3779B97F4A7C15) & 0xFFFF_FFFF_FFFF_FFFF)
+    return v_fmix64(seed_term + b.astype(np.uint64, copy=False))
+
+
+def v_mix2_outer(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``mix2(a_i, b_j)`` as an (len(a), len(b)) matrix."""
+    a = a.astype(np.uint64, copy=False)
+    b = b.astype(np.uint64, copy=False)
+    return v_fmix64(a[:, None] * _SM_GAMMA + b[None, :])
+
+
+def v_splitmix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 over a uint64 array."""
+    x = x.astype(np.uint64, copy=True)
+    x += _SM_GAMMA
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))

@@ -1,0 +1,87 @@
+"""Pure-Python implementation of xxHash64.
+
+xxHash64 is the hash the paper's C++ artifact uses for connection
+identifiers.  This is a faithful reimplementation of the reference
+algorithm (https://github.com/Cyan4973/xxHash, XXH64) producing
+bit-identical digests, so traces hashed here dispatch identically to
+traces hashed by the original C implementation.
+"""
+
+from repro.hashing.mix import MASK64
+
+_PRIME1 = 0x9E3779B185EBCA87
+_PRIME2 = 0xC2B2AE3D27D4EB4F
+_PRIME3 = 0x165667B19E3779F9
+_PRIME4 = 0x85EBCA77C2B2AE63
+_PRIME5 = 0x27D4EB2F165667C5
+
+
+def _rotl(x: int, r: int) -> int:
+    x &= MASK64
+    return ((x << r) | (x >> (64 - r))) & MASK64
+
+
+def _round(acc: int, lane: int) -> int:
+    acc = (acc + lane * _PRIME2) & MASK64
+    acc = _rotl(acc, 31)
+    return (acc * _PRIME1) & MASK64
+
+
+def _merge_round(acc: int, val: int) -> int:
+    acc ^= _round(0, val)
+    return (acc * _PRIME1 + _PRIME4) & MASK64
+
+
+def xxhash64(data: bytes, seed: int = 0) -> int:
+    """Compute the 64-bit xxHash of ``data`` with the given ``seed``.
+
+    Matches the reference XXH64 implementation bit-for-bit.
+    """
+    seed &= MASK64
+    length = len(data)
+    pos = 0
+
+    if length >= 32:
+        v1 = (seed + _PRIME1 + _PRIME2) & MASK64
+        v2 = (seed + _PRIME2) & MASK64
+        v3 = seed
+        v4 = (seed - _PRIME1) & MASK64
+        limit = length - 32
+        while pos <= limit:
+            v1 = _round(v1, int.from_bytes(data[pos : pos + 8], "little"))
+            v2 = _round(v2, int.from_bytes(data[pos + 8 : pos + 16], "little"))
+            v3 = _round(v3, int.from_bytes(data[pos + 16 : pos + 24], "little"))
+            v4 = _round(v4, int.from_bytes(data[pos + 24 : pos + 32], "little"))
+            pos += 32
+        h = (_rotl(v1, 1) + _rotl(v2, 7) + _rotl(v3, 12) + _rotl(v4, 18)) & MASK64
+        h = _merge_round(h, v1)
+        h = _merge_round(h, v2)
+        h = _merge_round(h, v3)
+        h = _merge_round(h, v4)
+    else:
+        h = (seed + _PRIME5) & MASK64
+
+    h = (h + length) & MASK64
+
+    while pos + 8 <= length:
+        k1 = _round(0, int.from_bytes(data[pos : pos + 8], "little"))
+        h ^= k1
+        h = (_rotl(h, 27) * _PRIME1 + _PRIME4) & MASK64
+        pos += 8
+
+    if pos + 4 <= length:
+        h ^= (int.from_bytes(data[pos : pos + 4], "little") * _PRIME1) & MASK64
+        h = (_rotl(h, 23) * _PRIME2 + _PRIME3) & MASK64
+        pos += 4
+
+    while pos < length:
+        h ^= (data[pos] * _PRIME5) & MASK64
+        h = (_rotl(h, 11) * _PRIME1) & MASK64
+        pos += 1
+
+    h ^= h >> 33
+    h = (h * _PRIME2) & MASK64
+    h ^= h >> 29
+    h = (h * _PRIME3) & MASK64
+    h ^= h >> 32
+    return h

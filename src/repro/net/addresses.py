@@ -1,0 +1,70 @@
+"""Address pools: deterministic generation of server and client endpoints.
+
+The paper's horizon mechanisms (Section 2.2) revolve around *identities* --
+standby server IPs, DNS name pools.  This module provides the identity
+substrate: reproducible pools of server addresses ("backend pool") and
+random-but-seeded client 5-tuples for workload generation.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from typing import Iterator, List
+
+from repro.net.flow import PROTO_TCP, FiveTuple
+
+
+class ServerPool:
+    """A deterministic pool of backend server addresses.
+
+    Servers are named ``base_network + index`` (e.g. ``10.1.0.1:8080``),
+    so a pool regenerated elsewhere yields the same identities -- the
+    property the "name allocation" horizon strategy relies on.
+    """
+
+    def __init__(self, base_network: str = "10.1.0.0/16", port: int = 8080):
+        self._network = ipaddress.IPv4Network(base_network)
+        self.port = port
+        self._allocated = 0
+
+    def allocate(self, count: int = 1) -> List[str]:
+        """Hand out the next ``count`` server identities."""
+        if self._allocated + count >= self._network.num_addresses - 1:
+            raise ValueError("server pool exhausted; use a wider base_network")
+        names = []
+        base = int(self._network.network_address)
+        for _ in range(count):
+            self._allocated += 1
+            names.append(f"{ipaddress.IPv4Address(base + self._allocated)}:{self.port}")
+        return names
+
+    @property
+    def allocated(self) -> int:
+        return self._allocated
+
+
+def random_five_tuples(
+    count: int,
+    seed: int = 0,
+    vip: str = "192.0.2.1",
+    vip_port: int = 443,
+) -> Iterator[FiveTuple]:
+    """Yield ``count`` distinct client connections to a single VIP.
+
+    Models the LB's view: many client (ip, port) pairs hitting one virtual
+    service endpoint.  Distinctness is enforced so keys are unique flows.
+    """
+    rng = random.Random(seed)
+    dst = int(ipaddress.IPv4Address(vip))
+    seen = set()
+    produced = 0
+    while produced < count:
+        src_ip = rng.randrange(1, 2**32 - 1)
+        src_port = rng.randrange(1024, 65536)
+        pair = (src_ip, src_port)
+        if pair in seen:
+            continue
+        seen.add(pair)
+        produced += 1
+        yield FiveTuple(src_ip, dst, src_port, vip_port, PROTO_TCP)

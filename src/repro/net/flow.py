@@ -1,0 +1,81 @@
+"""Connection identifiers: TCP/UDP 5-tuples and their 64-bit keys.
+
+Load balancers identify a connection by its 5-tuple.  Everything downstream
+of this module (CH, CT, simulators) consumes the *hash* of the identifier,
+so :class:`FiveTuple` exposes a cached ``key64`` computed over its canonical
+wire encoding with xxHash64 -- stable across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Union
+
+from repro.hashing.xxh import xxhash64
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_PROTO_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+
+def _to_ip_int(address: Union[str, int]) -> int:
+    """Normalize an IPv4 address (dotted string or int) to a uint32."""
+    if isinstance(address, int):
+        if not 0 <= address < 2**32:
+            raise ValueError(f"IPv4 address out of range: {address}")
+        return address
+    return int(ipaddress.IPv4Address(address))
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """An immutable TCP/UDP connection identifier."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int = PROTO_TCP
+
+    def __post_init__(self):
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port < 65536:
+                raise ValueError(f"port out of range: {port}")
+        if not 0 <= self.protocol < 256:
+            raise ValueError(f"protocol out of range: {self.protocol}")
+
+    @classmethod
+    def make(
+        cls,
+        src_ip: Union[str, int],
+        dst_ip: Union[str, int],
+        src_port: int,
+        dst_port: int,
+        protocol: int = PROTO_TCP,
+    ) -> "FiveTuple":
+        """Build from dotted-quad strings or raw ints."""
+        return cls(_to_ip_int(src_ip), _to_ip_int(dst_ip), src_port, dst_port, protocol)
+
+    def encode(self) -> bytes:
+        """Canonical 13-byte wire encoding (the hashing input)."""
+        return (
+            self.src_ip.to_bytes(4, "big")
+            + self.dst_ip.to_bytes(4, "big")
+            + self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.protocol.to_bytes(1, "big")
+        )
+
+    @property
+    def key64(self) -> int:
+        """64-bit connection key (xxHash64 of the canonical encoding)."""
+        return xxhash64(self.encode())
+
+    def __str__(self) -> str:
+        proto = _PROTO_NAMES.get(self.protocol, str(self.protocol))
+        return (
+            f"{ipaddress.IPv4Address(self.src_ip)}:{self.src_port} -> "
+            f"{ipaddress.IPv4Address(self.dst_ip)}:{self.dst_port}/{proto}"
+        )

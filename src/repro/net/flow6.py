@@ -1,0 +1,80 @@
+"""IPv6 connection identifiers.
+
+Modern L4 balancers (Maglev, Katran) are dual-stack; JET is address-
+family agnostic since everything downstream consumes the 64-bit key.
+This module mirrors :class:`repro.net.flow.FiveTuple` for IPv6: 128-bit
+addresses, same canonical-encoding + xxHash64 key derivation (37-byte
+encoding, so v4 and v6 tuples can never collide byte-wise).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Union
+
+from repro.hashing.xxh import xxhash64
+from repro.net.flow import PROTO_TCP, _PROTO_NAMES
+
+
+def _to_ip6_int(address: Union[str, int]) -> int:
+    """Normalize an IPv6 address (string or int) to a uint128."""
+    if isinstance(address, int):
+        if not 0 <= address < 2**128:
+            raise ValueError(f"IPv6 address out of range: {address}")
+        return address
+    return int(ipaddress.IPv6Address(address))
+
+
+@dataclass(frozen=True)
+class FiveTuple6:
+    """An immutable TCP/UDP-over-IPv6 connection identifier."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int = PROTO_TCP
+
+    def __post_init__(self):
+        for ip in (self.src_ip, self.dst_ip):
+            if not 0 <= ip < 2**128:
+                raise ValueError(f"IPv6 address out of range: {ip}")
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port < 65536:
+                raise ValueError(f"port out of range: {port}")
+        if not 0 <= self.protocol < 256:
+            raise ValueError(f"protocol out of range: {self.protocol}")
+
+    @classmethod
+    def make(
+        cls,
+        src_ip: Union[str, int],
+        dst_ip: Union[str, int],
+        src_port: int,
+        dst_port: int,
+        protocol: int = PROTO_TCP,
+    ) -> "FiveTuple6":
+        return cls(_to_ip6_int(src_ip), _to_ip6_int(dst_ip), src_port, dst_port, protocol)
+
+    def encode(self) -> bytes:
+        """Canonical 37-byte wire encoding (the hashing input)."""
+        return (
+            self.src_ip.to_bytes(16, "big")
+            + self.dst_ip.to_bytes(16, "big")
+            + self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.protocol.to_bytes(1, "big")
+        )
+
+    @property
+    def key64(self) -> int:
+        """64-bit connection key (xxHash64 of the canonical encoding)."""
+        return xxhash64(self.encode())
+
+    def __str__(self) -> str:
+        proto = _PROTO_NAMES.get(self.protocol, str(self.protocol))
+        return (
+            f"[{ipaddress.IPv6Address(self.src_ip)}]:{self.src_port} -> "
+            f"[{ipaddress.IPv6Address(self.dst_ip)}]:{self.dst_port}/{proto}"
+        )

@@ -1,0 +1,28 @@
+"""Packet records: what the LB data plane sees per packet.
+
+A packet carries its connection key (pre-hashed), a flow sequence marker,
+and a timestamp.  Traces are streams of these records; the simulator's
+packet events reference the same structure.  ``slots`` keeps the per-packet
+memory footprint small enough for multi-million-packet traces.
+"""
+
+from __future__ import annotations
+
+
+class Packet:
+    """One packet as observed at the load balancer."""
+
+    __slots__ = ("key", "flow_id", "seq", "time")
+
+    def __init__(self, key: int, flow_id: int, seq: int, time: float = 0.0):
+        self.key = key          # 64-bit connection key
+        self.flow_id = flow_id  # dense per-trace flow index
+        self.seq = seq          # 0 for the flow's first packet
+        self.time = time        # seconds since trace start
+
+    @property
+    def is_first(self) -> bool:
+        return self.seq == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Packet(flow={self.flow_id}, seq={self.seq}, t={self.time:.6f})"

@@ -1,0 +1,122 @@
+"""Packet header parsing: raw bytes -> 5-tuple.
+
+A real L4 load balancer extracts the connection identifier from wire
+headers.  This module implements that data-plane step for the classic
+Ethernet / IPv4 / {TCP, UDP} stack -- enough to replay pcap captures
+(see :mod:`repro.net.pcap`) through the library's balancers.
+
+Only the fields the LB needs are decoded; anything else is skipped using
+the header-length fields, exactly as a fast-path parser would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.flow import PROTO_TCP, PROTO_UDP, FiveTuple
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100
+_ETH_HEADER = 14
+_VLAN_TAG = 4
+
+
+class ParseError(ValueError):
+    """Raised when a frame cannot be parsed to a 5-tuple."""
+
+
+def parse_ethernet(frame: bytes) -> FiveTuple:
+    """Parse an Ethernet frame (802.1Q-aware) down to its 5-tuple."""
+    if len(frame) < _ETH_HEADER:
+        raise ParseError("frame shorter than an Ethernet header")
+    ethertype = int.from_bytes(frame[12:14], "big")
+    offset = _ETH_HEADER
+    if ethertype == ETHERTYPE_VLAN:
+        if len(frame) < _ETH_HEADER + _VLAN_TAG:
+            raise ParseError("truncated VLAN tag")
+        ethertype = int.from_bytes(frame[16:18], "big")
+        offset += _VLAN_TAG
+    if ethertype != ETHERTYPE_IPV4:
+        raise ParseError(f"unsupported ethertype 0x{ethertype:04x}")
+    return parse_ipv4(frame[offset:])
+
+
+def parse_ipv4(packet: bytes) -> FiveTuple:
+    """Parse an IPv4 packet carrying TCP or UDP down to its 5-tuple."""
+    if len(packet) < 20:
+        raise ParseError("packet shorter than an IPv4 header")
+    version = packet[0] >> 4
+    if version != 4:
+        raise ParseError(f"not IPv4 (version={version})")
+    ihl = (packet[0] & 0x0F) * 4
+    if ihl < 20 or len(packet) < ihl:
+        raise ParseError("bad IPv4 header length")
+    fragment_offset = int.from_bytes(packet[6:8], "big") & 0x1FFF
+    if fragment_offset != 0:
+        raise ParseError("non-first IP fragment has no L4 header")
+    protocol = packet[9]
+    if protocol not in (PROTO_TCP, PROTO_UDP):
+        raise ParseError(f"unsupported L4 protocol {protocol}")
+    src_ip = int.from_bytes(packet[12:16], "big")
+    dst_ip = int.from_bytes(packet[16:20], "big")
+    l4 = packet[ihl:]
+    if len(l4) < 4:
+        raise ParseError("truncated L4 header")
+    src_port = int.from_bytes(l4[0:2], "big")
+    dst_port = int.from_bytes(l4[2:4], "big")
+    return FiveTuple(src_ip, dst_ip, src_port, dst_port, protocol)
+
+
+def try_parse_ethernet(frame: bytes) -> Optional[FiveTuple]:
+    """Best-effort variant: None instead of raising (replay loops)."""
+    try:
+        return parse_ethernet(frame)
+    except ParseError:
+        return None
+
+
+# --------------------------------------------------------------------------
+# Synthesis (the inverse direction, for tests and writing captures)
+# --------------------------------------------------------------------------
+
+def build_ipv4(five_tuple: FiveTuple, payload: bytes = b"") -> bytes:
+    """Construct a minimal valid IPv4+L4 packet for a 5-tuple."""
+    l4_header_len = 20 if five_tuple.protocol == PROTO_TCP else 8
+    total = 20 + l4_header_len + len(payload)
+    header = bytearray(20)
+    header[0] = 0x45  # version 4, IHL 5
+    header[2:4] = total.to_bytes(2, "big")
+    header[8] = 64  # TTL
+    header[9] = five_tuple.protocol
+    header[12:16] = five_tuple.src_ip.to_bytes(4, "big")
+    header[16:20] = five_tuple.dst_ip.to_bytes(4, "big")
+    # Header checksum over the 20 bytes (with checksum field zeroed).
+    checksum = _ipv4_checksum(bytes(header))
+    header[10:12] = checksum.to_bytes(2, "big")
+
+    l4 = bytearray(l4_header_len)
+    l4[0:2] = five_tuple.src_port.to_bytes(2, "big")
+    l4[2:4] = five_tuple.dst_port.to_bytes(2, "big")
+    if five_tuple.protocol == PROTO_TCP:
+        l4[12] = 0x50  # data offset 5 words
+    else:
+        l4[4:6] = (8 + len(payload)).to_bytes(2, "big")
+    return bytes(header) + bytes(l4) + payload
+
+
+def build_ethernet(five_tuple: FiveTuple, payload: bytes = b"") -> bytes:
+    """Construct a minimal Ethernet frame for a 5-tuple."""
+    eth = bytearray(_ETH_HEADER)
+    eth[0:6] = b"\x02\x00\x00\x00\x00\x02"  # locally administered MACs
+    eth[6:12] = b"\x02\x00\x00\x00\x00\x01"
+    eth[12:14] = ETHERTYPE_IPV4.to_bytes(2, "big")
+    return bytes(eth) + build_ipv4(five_tuple, payload)
+
+
+def _ipv4_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += int.from_bytes(header[i : i + 2], "big")
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

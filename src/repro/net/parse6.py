@@ -1,0 +1,90 @@
+"""IPv6 header parsing: raw bytes -> :class:`FiveTuple6`.
+
+Handles the fixed IPv6 header plus the common skippable extension
+headers (hop-by-hop, routing, destination options), stopping at the
+first TCP/UDP header as a fast-path LB parser would.  Fragmented packets
+beyond the first fragment are rejected (no L4 header to read).
+"""
+
+from __future__ import annotations
+
+from repro.net.flow import PROTO_TCP, PROTO_UDP
+from repro.net.flow6 import FiveTuple6
+from repro.net.parse import ParseError
+
+ETHERTYPE_IPV6 = 0x86DD
+_FIXED_HEADER = 40
+
+# Extension headers a transit parser can skip: hop-by-hop (0),
+# routing (43), destination options (60).  Fragment (44) ends parsing
+# unless offset 0.
+_SKIPPABLE = {0, 43, 60}
+_FRAGMENT = 44
+
+
+def parse_ipv6(packet: bytes) -> FiveTuple6:
+    """Parse an IPv6 packet carrying TCP or UDP down to its 5-tuple."""
+    if len(packet) < _FIXED_HEADER:
+        raise ParseError("packet shorter than an IPv6 header")
+    version = packet[0] >> 4
+    if version != 6:
+        raise ParseError(f"not IPv6 (version={version})")
+    src_ip = int.from_bytes(packet[8:24], "big")
+    dst_ip = int.from_bytes(packet[24:40], "big")
+
+    next_header = packet[6]
+    offset = _FIXED_HEADER
+    for _ in range(8):  # bounded extension-header chain walk
+        if next_header in (PROTO_TCP, PROTO_UDP):
+            break
+        if next_header == _FRAGMENT:
+            if len(packet) < offset + 8:
+                raise ParseError("truncated fragment header")
+            frag_offset = int.from_bytes(packet[offset + 2 : offset + 4], "big") >> 3
+            if frag_offset != 0:
+                raise ParseError("non-first IPv6 fragment has no L4 header")
+            next_header = packet[offset]
+            offset += 8
+            continue
+        if next_header in _SKIPPABLE:
+            if len(packet) < offset + 8:
+                raise ParseError("truncated extension header")
+            length = (packet[offset + 1] + 1) * 8
+            next_header = packet[offset]
+            offset += length
+            continue
+        raise ParseError(f"unsupported IPv6 next-header {next_header}")
+    else:
+        raise ParseError("extension-header chain too long")
+
+    l4 = packet[offset:]
+    if len(l4) < 4:
+        raise ParseError("truncated L4 header")
+    return FiveTuple6(
+        src_ip,
+        dst_ip,
+        int.from_bytes(l4[0:2], "big"),
+        int.from_bytes(l4[2:4], "big"),
+        next_header,
+    )
+
+
+def build_ipv6(five_tuple: FiveTuple6, payload: bytes = b"") -> bytes:
+    """Construct a minimal valid IPv6+L4 packet for a 5-tuple."""
+    l4_header_len = 20 if five_tuple.protocol == PROTO_TCP else 8
+    header = bytearray(_FIXED_HEADER)
+    header[0] = 0x60
+    header[4:6] = (l4_header_len + len(payload)).to_bytes(2, "big")
+    header[6] = five_tuple.protocol
+    header[7] = 64  # hop limit
+    header[8:24] = five_tuple.src_ip.to_bytes(16, "big")
+    header[24:40] = five_tuple.dst_ip.to_bytes(16, "big")
+
+    l4 = bytearray(l4_header_len)
+    l4[0:2] = five_tuple.src_port.to_bytes(2, "big")
+    l4[2:4] = five_tuple.dst_port.to_bytes(2, "big")
+    if five_tuple.protocol == PROTO_TCP:
+        l4[12] = 0x50
+    else:
+        l4[4:6] = (8 + len(payload)).to_bytes(2, "big")
+    return bytes(header) + bytes(l4) + payload

@@ -1,0 +1,109 @@
+"""Minimal libpcap-format reader/writer (pure Python).
+
+The paper's trace evaluations consume packet captures (UNI1 / CAIDA).
+This module implements the classic pcap container so users can replay
+their *own* captures through the library: read frames out of any
+little- or big-endian microsecond/nanosecond pcap, and write captures of
+synthetic traffic for interchange with standard tools.
+
+Only the container is handled here; header decoding lives in
+:mod:`repro.net.parse` and trace conversion in
+:func:`repro.traces.from_pcap.trace_from_pcap`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+MAGIC_USEC_LE = 0xA1B2C3D4
+MAGIC_NSEC_LE = 0xA1B23C4D
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW_IPV4 = 228
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap files."""
+
+
+@dataclass
+class PcapPacket:
+    """One captured record: timestamp (seconds, float) + frame bytes."""
+
+    timestamp: float
+    data: bytes
+
+
+def write_pcap(
+    path: Union[str, Path],
+    packets: Iterator[Tuple[float, bytes]],
+    linktype: int = LINKTYPE_ETHERNET,
+    snaplen: int = 65535,
+) -> int:
+    """Write ``(timestamp, frame)`` pairs as a microsecond pcap.
+
+    Returns the number of records written.
+    """
+    count = 0
+    with open(path, "wb") as fh:
+        fh.write(_GLOBAL_HEADER.pack(MAGIC_USEC_LE, 2, 4, 0, 0, snaplen, linktype))
+        for timestamp, data in packets:
+            seconds = int(timestamp)
+            micros = int(round((timestamp - seconds) * 1_000_000))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            captured = data[:snaplen]
+            fh.write(_RECORD_HEADER.pack(seconds, micros, len(captured), len(data)))
+            fh.write(captured)
+            count += 1
+    return count
+
+
+def read_pcap(path: Union[str, Path]) -> Tuple[int, List[PcapPacket]]:
+    """Read a pcap file; returns ``(linktype, packets)``.
+
+    Handles both byte orders and both timestamp resolutions.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if len(raw) < _GLOBAL_HEADER.size:
+        raise PcapError("file shorter than a pcap global header")
+
+    magic_le = struct.unpack("<I", raw[:4])[0]
+    magic_be = struct.unpack(">I", raw[:4])[0]
+    if magic_le in (MAGIC_USEC_LE, MAGIC_NSEC_LE):
+        endian = "<"
+        nanos = magic_le == MAGIC_NSEC_LE
+    elif magic_be in (MAGIC_USEC_LE, MAGIC_NSEC_LE):
+        endian = ">"
+        nanos = magic_be == MAGIC_NSEC_LE
+    else:
+        raise PcapError(f"bad pcap magic 0x{magic_le:08x}")
+
+    header = struct.Struct(endian + "IHHiIII")
+    record = struct.Struct(endian + "IIII")
+    _, major, _minor, _, _, _snaplen, linktype = header.unpack_from(raw, 0)
+    if major != 2:
+        raise PcapError(f"unsupported pcap major version {major}")
+
+    divisor = 1e9 if nanos else 1e6
+    packets: List[PcapPacket] = []
+    offset = header.size
+    while offset < len(raw):
+        if offset + record.size > len(raw):
+            raise PcapError("truncated record header")
+        seconds, fraction, incl_len, _orig_len = record.unpack_from(raw, offset)
+        offset += record.size
+        if offset + incl_len > len(raw):
+            raise PcapError("truncated packet data")
+        packets.append(
+            PcapPacket(seconds + fraction / divisor, raw[offset : offset + incl_len])
+        )
+        offset += incl_len
+    return linktype, packets

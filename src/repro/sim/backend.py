@@ -1,0 +1,106 @@
+"""Backend-change orchestration: the bounded FIFO horizon.
+
+Implements the Section 2.2/2.3 operational model the simulator exercises:
+
+- the horizon starts with ``horizon_size`` *standby* identities;
+- a removed working server immediately joins the horizon ("transient
+  failures" strategy) -- if that overflows the horizon, the **oldest**
+  member is evicted (FIFO), standbys first;
+- a recovering server found in the horizon is a *proper* JET addition;
+  one found evicted is an **unanticipated** addition (``force_add``) whose
+  unsafe connections were never tracked -- the Fig. 4 horizon-too-small
+  failure mode;
+- after a proper addition, a spare standby identity tops the horizon back
+  up so ``|H|`` stays constant, as in the paper's fixed "horizon 10%"
+  configurations.
+
+The manager drives one *or more* load balancers in lockstep so a JET LB
+and a full-CT LB can consume an identical event sequence (Proposition 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Sequence, Set
+
+from repro.core.interfaces import LoadBalancer, Name
+
+
+class HorizonManager:
+    """Keeps ``|H|`` constant while servers churn through it."""
+
+    def __init__(
+        self,
+        balancers: Sequence[LoadBalancer],
+        standby_names: Iterable[Name],
+    ):
+        self.balancers: List[LoadBalancer] = list(balancers)
+        self._fifo: Deque[Name] = deque()
+        self._members: Set[Name] = set()
+        self._spares: Deque[Name] = deque()
+        self._down: Set[Name] = set()
+        self.surprise_additions = 0
+        self.proper_additions = 0
+        for name in standby_names:
+            self._fifo.append(name)
+            self._members.add(name)
+        self.horizon_size = len(self._fifo)
+
+    # ------------------------------------------------------------ state
+    @property
+    def members(self) -> frozenset:
+        return frozenset(self._members)
+
+    @property
+    def down_servers(self) -> frozenset:
+        return frozenset(self._down)
+
+    # ------------------------------------------------------------ churn
+    def _evict_oldest(self) -> None:
+        victim = self._fifo.popleft()
+        self._members.discard(victim)
+        for lb in self.balancers:
+            lb.remove_horizon_server(victim)
+        if victim in self._down:
+            # A still-down server lost its horizon slot; its eventual
+            # recovery will be unanticipated.
+            pass
+        else:
+            self._spares.append(victim)
+
+    def remove_server(self, name: Name) -> None:
+        """A working server goes down: it enters the horizon (Algorithm 1
+        REMOVEWORKINGSERVER), evicting the oldest member on overflow."""
+        self._down.add(name)
+        for lb in self.balancers:
+            lb.remove_working_server(name)
+        self._fifo.append(name)
+        self._members.add(name)
+        if len(self._fifo) > self.horizon_size:
+            self._evict_oldest()
+
+    def recover_server(self, name: Name) -> bool:
+        """A down server rejoins ``W``.  Returns True for a proper (horizon)
+        addition, False for an unanticipated one."""
+        self._down.discard(name)
+        if name in self._members:
+            self._fifo.remove(name)
+            self._members.discard(name)
+            for lb in self.balancers:
+                lb.add_working_server(name)
+            self.proper_additions += 1
+            self._top_up()
+            return True
+        for lb in self.balancers:
+            lb.force_add_working_server(name)
+        self.surprise_additions += 1
+        return False
+
+    def _top_up(self) -> None:
+        """Restore ``|H|`` with a spare standby identity, if one exists."""
+        if self._spares and len(self._fifo) < self.horizon_size:
+            spare = self._spares.popleft()
+            self._fifo.append(spare)
+            self._members.add(spare)
+            for lb in self.balancers:
+                lb.add_horizon_server(spare)

@@ -1,0 +1,236 @@
+"""The event-driven simulator of Section 5.1.
+
+Four event kinds drive the system, exactly as in the paper: (1) new
+connection; (2) connection termination; (3) server removal; (4) server
+addition (recovery).  We add per-packet events in between -- every packet
+traverses the load balancer so that connection-tracking state (LRU
+recency, safety re-checks on horizon changes) evolves faithfully -- plus
+periodic metric sampling.
+
+PCC accounting follows Section 2.1: a connection's *true destination* is
+the destination of its first packet; a later packet dispatched elsewhere is
+a PCC violation (counted once per connection, after which the client is
+assumed to reset the connection); connections whose destination is removed
+are *inevitably broken* and excluded from the violation count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time as _time
+from itertools import count
+from typing import Dict, List, Optional, Set
+
+from repro.core.interfaces import LoadBalancer, Name
+from repro.hashing.mix import splitmix64
+from repro.sim.backend import HorizonManager
+from repro.sim.distributions import Distribution
+from repro.sim.metrics import LoadTracker, SimResult
+from repro.sim.workload import Flow, WorkloadGenerator
+
+# Event kinds (heap entries are (time, tiebreak, kind, payload)).
+_ARRIVAL = 0
+_PACKET = 1
+_FLOW_END = 2
+_REMOVAL = 3
+_RECOVERY = 4
+_SAMPLE = 5
+
+
+class EventDrivenSimulation:
+    """One simulation run binding a workload, a backend, and one LB."""
+
+    def __init__(
+        self,
+        balancer: LoadBalancer,
+        workload: WorkloadGenerator,
+        working_servers: List[Name],
+        standby_servers: List[Name],
+        duration_s: float,
+        update_rate_per_min: float,
+        downtime_dist: Distribution,
+        seed: int = 0,
+        sample_interval: float = 1.0,
+        warmup_s: Optional[float] = None,
+    ):
+        self.lb = balancer
+        self.workload = workload
+        self.duration_s = duration_s
+        self.sample_interval = sample_interval
+        # Balance metrics ignore the ramp-up transient (few flows over many
+        # servers trivially yields huge oversubscription ratios).
+        self.warmup_s = 0.2 * duration_s if warmup_s is None else warmup_s
+        self.manager = HorizonManager([balancer], standby_servers)
+        self.downtime_dist = downtime_dist
+        self._removal_rate = update_rate_per_min / 60.0
+        self._rng = random.Random(splitmix64(seed ^ 0xBEEF_CAFE))
+
+        # Up-server list with O(1) random choice and removal.
+        self._up: List[Name] = list(working_servers)
+        self._up_index: Dict[Name, int] = {s: i for i, s in enumerate(self._up)}
+
+        self._heap: list = []
+        self._seq = count()
+        self._load = LoadTracker()
+        self._flows_by_server: Dict[Name, Set[Flow]] = {}
+        self.result = SimResult()
+
+        # TTL-based CT tables carry a simulated clock we must advance.
+        from repro.ct.ttl import Clock as _SimClock
+
+        ct = getattr(balancer, "ct", None)
+        clock = getattr(ct, "clock", None)
+        self._sim_clock = clock if isinstance(clock, _SimClock) else None
+
+    # ----------------------------------------------------------- events
+    def _push(self, when: float, kind: int, payload=None) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), kind, payload))
+
+    def _pick_up_server(self) -> Optional[Name]:
+        if len(self._up) <= 1:
+            return None  # never remove the last working server
+        return self._up[self._rng.randrange(len(self._up))]
+
+    def _mark_down(self, name: Name) -> None:
+        position = self._up_index.pop(name)
+        last = self._up.pop()
+        if last != name:
+            self._up[position] = last
+            self._up_index[last] = position
+
+    def _mark_up(self, name: Name) -> None:
+        self._up_index[name] = len(self._up)
+        self._up.append(name)
+
+    # ------------------------------------------------------------- run
+    def run(self) -> SimResult:
+        started = _time.perf_counter()
+        self._push(self.workload.next_arrival_gap(), _ARRIVAL)
+        if self._removal_rate > 0:
+            self._push(self._rng.expovariate(self._removal_rate), _REMOVAL)
+        self._push(self.sample_interval, _SAMPLE)
+
+        heap = self._heap
+        sim_clock = self._sim_clock
+        while heap:
+            when, _, kind, payload = heapq.heappop(heap)
+            if when > self.duration_s:
+                break
+            if sim_clock is not None:
+                sim_clock.now = when
+            if kind == _PACKET:
+                self._on_packet(payload)
+            elif kind == _ARRIVAL:
+                self._on_arrival(when)
+            elif kind == _FLOW_END:
+                self._on_flow_end(payload)
+            elif kind == _REMOVAL:
+                self._on_removal(when)
+            elif kind == _RECOVERY:
+                self._on_recovery(payload)
+            else:
+                self._on_sample(when)
+
+        self._finalize()
+        self.result.wall_seconds = _time.perf_counter() - started
+        return self.result
+
+    # --------------------------------------------------------- handlers
+    def _on_arrival(self, now: float) -> None:
+        flow = self.workload.make_flow(now)
+        self.result.flows_started += 1
+        self._push(now, _PACKET, flow)
+        self._push(flow.end, _FLOW_END, flow)
+        self._push(now + self.workload.next_arrival_gap(), _ARRIVAL)
+
+    def _on_packet(self, flow: Flow) -> None:
+        if flow.broken:
+            return
+        self.result.packets_processed += 1
+        if flow.true_destination is None:
+            # First packet (TCP SYN): load-aware LBs may run their
+            # new-connection placement here (Section 6.3).
+            if getattr(self.lb, "dispatches_new_connections", False):
+                destination = self.lb.get_destination(flow.key, True)
+            else:
+                destination = self.lb.get_destination(flow.key)
+            flow.true_destination = destination
+            self._load.flow_started(destination)
+            if getattr(self.lb, "note_flow_start", None) is not None:
+                self.lb.note_flow_start(destination)
+            self._flows_by_server.setdefault(destination, set()).add(flow)
+        else:
+            destination = self.lb.get_destination(flow.key)
+            if destination != flow.true_destination:
+                # PCC violation: the connection is reset by the new backend.
+                flow.broken = True
+                self.result.pcc_violations += 1
+                self._retire(flow)
+                return
+        flow.next_packet += 1
+        if flow.next_packet < len(flow.packet_times):
+            self._push(flow.packet_times[flow.next_packet], _PACKET, flow)
+
+    def _retire(self, flow: Flow) -> None:
+        """Remove a finished/broken flow from load accounting."""
+        if flow.true_destination is not None:
+            self._load.flow_ended(flow.true_destination)
+            if getattr(self.lb, "note_flow_end", None) is not None:
+                self.lb.note_flow_end(flow.true_destination)
+            bucket = self._flows_by_server.get(flow.true_destination)
+            if bucket is not None:
+                bucket.discard(flow)
+
+    def _on_flow_end(self, flow: Flow) -> None:
+        if flow.broken:
+            return
+        flow.broken = True  # terminated; ignore any same-time stragglers
+        self.result.flows_completed += 1
+        self._retire(flow)
+
+    def _on_removal(self, now: float) -> None:
+        victim = self._pick_up_server()
+        if victim is not None:
+            self._mark_down(victim)
+            self.result.removals += 1
+            # Connections to the victim are inevitably broken (Section 2.1);
+            # count and retire them -- tracking could not have saved them.
+            doomed = self._flows_by_server.pop(victim, set())
+            for flow in doomed:
+                flow.broken = True
+                flow.inevitable = True
+                self._load.flow_ended(victim)
+            self.result.inevitably_broken += len(doomed)
+            self.manager.remove_server(victim)
+            self._push(now + self.downtime_dist.sample(self._rng), _RECOVERY, victim)
+        self._push(now + self._rng.expovariate(self._removal_rate), _REMOVAL)
+
+    def _on_recovery(self, server: Name) -> None:
+        self._mark_up(server)
+        self.result.additions += 1
+        self.manager.recover_server(server)
+
+    def _on_sample(self, now: float) -> None:
+        oversub = self._load.oversubscription(len(self._up))
+        if oversub is not None and now >= self.warmup_s:
+            self.result.oversubscription_series.append(oversub)
+            if oversub > self.result.max_oversubscription:
+                self.result.max_oversubscription = oversub
+        tracked = self.lb.tracked_connections
+        self.result.tracked_series.append(tracked)
+        self.result.sample_times.append(now)
+        if tracked > self.result.peak_tracked:
+            self.result.peak_tracked = tracked
+        self._push(now + self.sample_interval, _SAMPLE)
+
+    def _finalize(self) -> None:
+        result = self.result
+        result.surprise_additions = self.manager.surprise_additions
+        result.final_tracked = self.lb.tracked_connections
+        ct = getattr(self.lb, "ct", None)
+        if ct is not None:
+            result.ct_evictions = ct.stats.evictions
+            result.ct_hit_rate = ct.stats.hit_rate
+            if ct.stats.peak_size > result.peak_tracked:
+                result.peak_tracked = ct.stats.peak_size

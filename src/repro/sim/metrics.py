@@ -1,0 +1,82 @@
+"""Metrics collection for the event-driven simulation.
+
+Tracks exactly what Section 5.1 reports:
+
+- **PCC violations**: unsafe connections that broke (each counted once;
+  inevitably-broken connections are excluded per the paper);
+- **maximum oversubscription**: max over sampling instants of
+  ``most-loaded server's active connections / (active connections /
+  active servers)``;
+- **tracked connections**: CT table occupancy over time;
+- bookkeeping: flows started/completed, surprise additions, CT stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.interfaces import Name
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    pcc_violations: int = 0
+    inevitably_broken: int = 0
+    flows_started: int = 0
+    flows_completed: int = 0
+    packets_processed: int = 0
+    removals: int = 0
+    additions: int = 0
+    surprise_additions: int = 0
+    max_oversubscription: float = 0.0
+    oversubscription_series: List[float] = field(default_factory=list)
+    tracked_series: List[int] = field(default_factory=list)
+    sample_times: List[float] = field(default_factory=list)
+    peak_tracked: int = 0
+    final_tracked: int = 0
+    ct_evictions: int = 0
+    ct_hit_rate: float = 0.0
+    wall_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"flows={self.flows_started} packets={self.packets_processed} "
+            f"removals={self.removals} additions={self.additions} "
+            f"(surprise={self.surprise_additions}) "
+            f"PCC violations={self.pcc_violations} "
+            f"inevitable={self.inevitably_broken} "
+            f"max oversub={self.max_oversubscription:.3f} "
+            f"peak tracked={self.peak_tracked}"
+        )
+
+
+class LoadTracker:
+    """Active-connection counts per server, for oversubscription sampling."""
+
+    def __init__(self):
+        self._load: Dict[Name, int] = {}
+        self.active_flows = 0
+
+    def flow_started(self, server: Name) -> None:
+        self._load[server] = self._load.get(server, 0) + 1
+        self.active_flows += 1
+
+    def flow_ended(self, server: Name) -> None:
+        count = self._load.get(server, 0)
+        if count > 0:
+            self._load[server] = count - 1
+            self.active_flows -= 1
+
+    def server_load(self, server: Name) -> int:
+        return self._load.get(server, 0)
+
+    def oversubscription(self, active_servers: int) -> Optional[float]:
+        """Max load divided by the per-server average (None when idle)."""
+        if self.active_flows == 0 or active_servers == 0:
+            return None
+        average = self.active_flows / active_servers
+        heaviest = max(self._load.values(), default=0)
+        return heaviest / average if average > 0 else None

@@ -1,0 +1,135 @@
+"""Simulation configuration and entry points.
+
+:class:`SimulationConfig` exposes the six knobs the paper's Section 5.1
+lists -- connection rate, size distribution, duration distribution,
+backend update rate, down-time distribution, CT table size -- plus the
+reproduction's scaling and plumbing parameters (LB mode, CH family, seed).
+
+The paper's "connection rate" is the nominal number of *concurrent*
+connections (their 100K-rate / 1000 s runs produce ~5M connections, i.e.
+a Poisson arrival rate of connection_rate / mean-duration).  We keep that
+convention so CT-table sizes stated as fractions of the connection rate
+line up with Figs. 3-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.core.factories import make_ch
+from repro.core.full_ct import FullCTLoadBalancer
+from repro.core.jet import JETLoadBalancer
+from repro.core.load_aware import PowerOfTwoJET
+from repro.core.stateless import StatelessLoadBalancer
+from repro.ct import Clock, make_ct
+from repro.sim.distributions import (
+    Distribution,
+    hadoop_flow_duration,
+    hadoop_flow_size,
+    server_downtime,
+)
+from repro.sim.engine import EventDrivenSimulation
+from repro.sim.metrics import SimResult
+from repro.sim.workload import WorkloadGenerator
+
+#: Backend size used throughout the paper's event-driven simulations.
+PAPER_N_SERVERS = 468
+#: The paper's "horizon 10%" for 468 servers.
+PAPER_HORIZON = 47
+
+
+@dataclass
+class SimulationConfig:
+    """All knobs for one event-driven run (paper defaults, scaled down)."""
+
+    duration_s: float = 100.0
+    connection_rate: float = 2_000.0  # nominal concurrent connections
+    n_servers: int = PAPER_N_SERVERS
+    horizon_size: int = PAPER_HORIZON
+    update_rate_per_min: float = 10.0
+    ct_capacity: Optional[int] = None  # None = unbounded
+    ct_policy: str = "lru"  # lru | fifo | random | ttl
+    ct_ttl: Optional[float] = None  # idle timeout for ct_policy="ttl"
+    mode: str = "jet"  # jet | full | stateless | p2c
+    ch_family: str = "anchor"
+    ch_kwargs: Dict = field(default_factory=dict)
+    seed: int = 0
+    sample_interval: float = 1.0
+    warmup_s: Optional[float] = None  # balance-metric warmup; default 20%
+    arrival_rate: Optional[float] = None  # derived if None
+    size_dist: Optional[Distribution] = None
+    duration_dist: Optional[Distribution] = None
+    downtime_dist: Optional[Distribution] = None
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+
+def build_balancer(config: SimulationConfig):
+    """Construct the LB (CH + CT + wrapper) a config describes."""
+    working = list(range(config.n_servers))
+    standby = list(range(config.n_servers, config.n_servers + config.horizon_size))
+    ch_kwargs = dict(config.ch_kwargs)
+    if config.ch_family == "anchor" and "capacity" not in ch_kwargs:
+        # Leave headroom for forced additions and horizon churn.
+        ch_kwargs["capacity"] = 2 * (config.n_servers + config.horizon_size) + 16
+    ch = make_ch(config.ch_family, working, standby, **ch_kwargs)
+    clock = Clock() if config.ct_policy == "ttl" else None
+    ct = make_ct(
+        config.ct_capacity,
+        config.ct_policy,
+        seed=config.seed,
+        ttl=config.ct_ttl,
+        clock=clock,
+    )
+    if config.mode == "jet":
+        return JETLoadBalancer(ch, ct), working, standby
+    if config.mode == "full":
+        return FullCTLoadBalancer(ch, ct), working, standby
+    if config.mode == "stateless":
+        return StatelessLoadBalancer(ch), working, standby
+    if config.mode == "p2c":
+        return PowerOfTwoJET(ch, ct), working, standby
+    raise ValueError(f"unknown mode {config.mode!r}")
+
+
+def run_simulation(config: SimulationConfig) -> SimResult:
+    """Run one event-driven simulation and return its metrics."""
+    duration_dist = config.duration_dist or hadoop_flow_duration()
+    size_dist = config.size_dist or hadoop_flow_size()
+    downtime_dist = config.downtime_dist or server_downtime()
+    arrival_rate = config.arrival_rate
+    if arrival_rate is None:
+        arrival_rate = config.connection_rate / duration_dist.mean()
+
+    balancer, working, standby = build_balancer(config)
+    workload = WorkloadGenerator(
+        arrival_rate=arrival_rate,
+        size_dist=size_dist,
+        duration_dist=duration_dist,
+        seed=config.seed,
+    )
+    sim = EventDrivenSimulation(
+        balancer=balancer,
+        workload=workload,
+        working_servers=working,
+        standby_servers=standby,
+        duration_s=config.duration_s,
+        update_rate_per_min=config.update_rate_per_min,
+        downtime_dist=downtime_dist,
+        seed=config.seed,
+        sample_interval=config.sample_interval,
+        warmup_s=config.warmup_s,
+    )
+    return sim.run()
+
+
+def run_paired(config: SimulationConfig) -> Dict[str, SimResult]:
+    """Run JET and full CT on the *same seed* (identical event sequences);
+    the Proposition 4.1 comparison setup."""
+    return {
+        "jet": run_simulation(config.with_(mode="jet")),
+        "full": run_simulation(config.with_(mode="full")),
+    }

@@ -1,0 +1,36 @@
+"""Packet traces: synthetic generators, persistence, and replay."""
+
+from repro.traces.base import Trace
+from repro.traces.zipf import PAPER_SKEWS, zipf_trace
+from repro.traces.synthetic_dc import (
+    NY18_FLOWS,
+    NY18_PACKETS,
+    UNI1_FLOWS,
+    UNI1_PACKETS,
+    dc_trace,
+    ny18_like,
+    uni1_like,
+)
+from repro.traces.replay import ReplayResult, TraceEvent, replay
+from repro.traces.io import cached_trace, load_trace, save_trace
+from repro.traces.from_pcap import trace_from_pcap
+
+__all__ = [
+    "Trace",
+    "zipf_trace",
+    "PAPER_SKEWS",
+    "dc_trace",
+    "uni1_like",
+    "ny18_like",
+    "UNI1_FLOWS",
+    "UNI1_PACKETS",
+    "NY18_FLOWS",
+    "NY18_PACKETS",
+    "replay",
+    "ReplayResult",
+    "TraceEvent",
+    "save_trace",
+    "load_trace",
+    "cached_trace",
+    "trace_from_pcap",
+]

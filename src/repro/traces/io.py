@@ -1,0 +1,51 @@
+"""Trace persistence: save/load traces as compressed ``.npz`` archives.
+
+Generating a paper-scale trace takes longer than replaying it, so the
+benchmark harness caches traces on disk.  The format is two numpy arrays
+plus the trace name -- portable and mmap-friendly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.traces.base import Trace
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (.npz, compressed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        name=np.array(trace.name),
+        flow_keys=trace.flow_keys,
+        packets=trace.packets,
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(Path(path).with_suffix(".npz") if not str(path).endswith(".npz") else path) as data:
+        return Trace(
+            name=str(data["name"]),
+            flow_keys=data["flow_keys"],
+            packets=data["packets"],
+        )
+
+
+def cached_trace(factory, cache_dir: Union[str, Path], tag: str) -> Trace:
+    """Return a cached trace, generating and caching it on first use."""
+    cache_dir = Path(cache_dir)
+    path = cache_dir / f"{tag}.npz"
+    if path.exists():
+        return load_trace(path)
+    trace = factory()
+    try:
+        save_trace(trace, path)
+    except OSError:
+        pass  # caching is best-effort (read-only filesystems)
+    return trace

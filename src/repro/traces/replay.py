@@ -1,0 +1,141 @@
+"""Trace replay harness -- the Section 5.2/5.3 measurement loop.
+
+Feeds every packet of a trace through a load balancer and reports the
+three metrics of Tables 1-2 and Fig. 7:
+
+- **maximum oversubscription**: connections at the most loaded server
+  divided by the average per active server;
+- **tracked connections**: CT table occupancy after the replay (the run
+  configuration matches the paper: CT unbounded, "no flows are evicted");
+- **rate**: dispatched packets per second of wall time.
+
+Rate caveat (documented in EXPERIMENTS.md): the paper measures a C++
+implementation where the effect at play is L1/L2 cache residency of CT
+tables vs. CH computations.  A pure-Python replay measures interpreter
+dict/loop costs instead, so absolute rates are ~3 orders of magnitude
+lower and orderings between CH families can differ from Tables 1-2.
+
+Backend-change events can be injected mid-trace to exercise PCC under
+churn (used by integration tests and the extensions bench).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import LoadBalancer, Name
+from repro.traces.base import Trace
+
+#: An injected event: (packet_index, callable applied to the balancer).
+TraceEvent = Tuple[int, Callable[[LoadBalancer], None]]
+
+
+@dataclass
+class ReplayResult:
+    """Metrics from one trace replay."""
+
+    trace_name: str
+    n_flows: int
+    n_packets: int
+    max_oversubscription: float
+    tracked_connections: int
+    rate_pps: float
+    wall_seconds: float
+    pcc_violations: int
+    inevitably_broken: int
+    server_loads: Dict[Name, int] = field(default_factory=dict)
+
+    def row(self) -> str:
+        return (
+            f"{self.trace_name}: oversub={self.max_oversubscription:.3f} "
+            f"tracked={self.tracked_connections:,} "
+            f"rate={self.rate_pps / 1e6:.3f} Mpps "
+            f"violations={self.pcc_violations}"
+        )
+
+
+def replay(
+    trace: Trace,
+    balancer: LoadBalancer,
+    events: Sequence[TraceEvent] = (),
+) -> ReplayResult:
+    """Replay ``trace`` through ``balancer`` and measure the paper's metrics.
+
+    ``events`` is an optional schedule of backend changes keyed by packet
+    index (applied just before that packet is dispatched).
+    """
+    keys: List[int] = [int(k) for k in trace.flow_keys]
+    packet_flows: List[int] = trace.packets.tolist()
+    first_destination: List[Optional[Name]] = [None] * trace.n_flows
+    broken = bytearray(trace.n_flows)
+    violations = 0
+    inevitable = 0
+
+    event_queue = sorted(events, key=lambda ev: ev[0])
+    next_event = 0
+
+    get_destination = balancer.get_destination
+    # Load-aware balancers (Section 6.3) receive flow-start notifications
+    # and a new-connection (TCP SYN) signal on each flow's first packet.
+    note_flow_start = getattr(balancer, "note_flow_start", None)
+    syn_aware = getattr(balancer, "dispatches_new_connections", False)
+    started = time.perf_counter()
+    if not event_queue and not syn_aware:
+        # Hot path: no churn, skip per-packet event checks.
+        for flow_index in packet_flows:
+            destination = get_destination(keys[flow_index])
+            previous = first_destination[flow_index]
+            if previous is None:
+                first_destination[flow_index] = destination
+                if note_flow_start is not None:
+                    note_flow_start(destination)
+            elif destination != previous and not broken[flow_index]:
+                broken[flow_index] = 1
+                violations += 1
+        wall = time.perf_counter() - started
+    else:
+        for packet_index, flow_index in enumerate(packet_flows):
+            while next_event < len(event_queue) and event_queue[next_event][0] <= packet_index:
+                event_queue[next_event][1](balancer)
+                next_event += 1
+            previous = first_destination[flow_index]
+            if syn_aware:
+                destination = get_destination(keys[flow_index], previous is None)
+            else:
+                destination = get_destination(keys[flow_index])
+            if previous is None:
+                first_destination[flow_index] = destination
+                if note_flow_start is not None:
+                    note_flow_start(destination)
+            elif destination != previous and not broken[flow_index]:
+                broken[flow_index] = 1
+                if previous in balancer.working:
+                    violations += 1
+                else:
+                    inevitable += 1
+        wall = time.perf_counter() - started
+
+    loads: Dict[Name, int] = {}
+    for destination in first_destination:
+        if destination is not None:
+            loads[destination] = loads.get(destination, 0) + 1
+
+    active_servers = len(balancer.working)
+    dispatched_flows = sum(loads.values())
+    average = dispatched_flows / active_servers if active_servers else 0.0
+    oversubscription = max(loads.values()) / average if loads and average else 0.0
+
+    return ReplayResult(
+        trace_name=trace.name,
+        n_flows=trace.n_flows,
+        n_packets=trace.n_packets,
+        max_oversubscription=oversubscription,
+        tracked_connections=balancer.tracked_connections,
+        rate_pps=trace.n_packets / wall if wall > 0 else 0.0,
+        wall_seconds=wall,
+        pcc_violations=violations,
+        inevitably_broken=inevitable,
+        server_loads=loads,
+    )

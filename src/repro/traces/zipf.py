@@ -1,0 +1,68 @@
+"""Synthetic Zipf traces -- Section 5.3.
+
+The paper evaluates over Zipf traces "with a skew varying from 0.6 (e.g.,
+internet traffic) and up to 1.4 (highly skewed)", 100M packets each.  We
+generate them the standard way (Breslau et al.): flow *popularities*
+follow a Zipf law with exponent ``skew`` over a fixed flow population, and
+each packet independently samples a flow from that law -- heavier skews
+concentrate packets on fewer flows, shrinking the distinct-flow count
+exactly as the paper observes ("as the skew grows, the number of distinct
+flows drops").
+
+Flows that receive zero packets are dropped from the population, so
+``n_flows`` of the resulting trace is the number of *distinct* flows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.mix import splitmix64
+from repro.traces.base import Trace
+
+#: The skews of Fig. 6b / Fig. 7.
+PAPER_SKEWS = (0.6, 0.8, 1.0, 1.2, 1.4)
+
+
+def _unique_keys(count: int, seed: int) -> np.ndarray:
+    """Deterministic distinct 64-bit keys (splitmix64 stream is a bijection
+    of the counter, hence collision-free)."""
+    state = np.uint64(splitmix64(seed))
+    # Vectorized splitmix64 over a counter range.
+    x = (np.arange(1, count + 1, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)) + state
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def zipf_trace(
+    skew: float,
+    n_packets: int = 1_000_000,
+    population: int = 200_000,
+    seed: int = 0,
+) -> Trace:
+    """Generate a Zipf packet trace.
+
+    ``population`` is the size of the underlying flow universe; the trace's
+    distinct flow count is whatever the sampling touches (decreasing in
+    ``skew``).  The paper's full-scale traces use 100M packets; defaults are
+    scaled for laptop runs and can be raised to paper scale.
+    """
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    if n_packets < 1 or population < 1:
+        raise ValueError("n_packets and population must be positive")
+    rng = np.random.default_rng(splitmix64(seed ^ 0x21F0_AAAD) & 0x7FFF_FFFF)
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    probabilities = weights / weights.sum()
+    draws = rng.choice(population, size=n_packets, p=probabilities)
+
+    # Compact to distinct flows only.
+    distinct, packets = np.unique(draws, return_inverse=True)
+    keys = _unique_keys(len(distinct), seed=splitmix64(seed ^ 0x51AF_E234))
+    return Trace(
+        name=f"zipf(skew={skew}, packets={n_packets})",
+        flow_keys=keys,
+        packets=packets.astype(np.int64),
+    )

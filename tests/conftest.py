@@ -1,0 +1,55 @@
+"""Shared fixtures: server populations, key samples, CH factories."""
+
+import pytest
+
+from repro.ch import AnchorHash, HRWHash, JumpHash, RingHash, TableHRWHash
+from repro.ch.properties import sample_keys
+
+WORKING = [f"w{i}" for i in range(16)]
+HORIZON = [f"h{i}" for i in range(3)]
+
+
+def make_family(family: str, working=None, horizon=None):
+    """Construct a JET-capable CH of the given family with test-sized
+    parameters (small tables/capacities keep tests fast)."""
+    working = WORKING if working is None else working
+    horizon = HORIZON if horizon is None else horizon
+    if family == "hrw":
+        return HRWHash(working, horizon)
+    if family == "ring":
+        return RingHash(working, horizon, virtual_nodes=40)
+    if family == "table":
+        return TableHRWHash(working, horizon, rows=1031)
+    if family == "anchor":
+        return AnchorHash(working, horizon, capacity=4 * (len(working) + len(horizon)))
+    if family == "jump":
+        return JumpHash(working, horizon)
+    raise ValueError(family)
+
+
+#: The four CH families the paper integrates with JET (Algorithms 2-5).
+JET_FAMILY_NAMES = ("hrw", "ring", "table", "anchor")
+
+
+@pytest.fixture(params=JET_FAMILY_NAMES)
+def jet_ch(request):
+    """A fresh horizon-aware CH instance per paper family."""
+    return make_family(request.param)
+
+
+@pytest.fixture(params=JET_FAMILY_NAMES)
+def jet_ch_factory(request):
+    """A factory producing fresh same-configured CH instances."""
+    family = request.param
+    return lambda: make_family(family)
+
+
+@pytest.fixture(scope="session")
+def keys():
+    """A reusable batch of pseudo-random 64-bit connection keys."""
+    return sample_keys(4000, seed=12345)
+
+
+@pytest.fixture(scope="session")
+def few_keys():
+    return sample_keys(400, seed=54321)

@@ -1,0 +1,88 @@
+"""Analytical-model tests: closed forms vs simulation."""
+
+import pytest
+
+from repro.analysis.model import (
+    CTOccupancyModel,
+    memory_saving_factor,
+    tracking_probability,
+    _inverse_normal_tail,
+)
+from repro.sim import Exponential, LogNormal, SimulationConfig, run_simulation
+
+
+class TestClosedForms:
+    def test_tracking_probability(self):
+        assert tracking_probability(90, 10) == pytest.approx(0.1)
+        assert tracking_probability(468, 47) == pytest.approx(47 / 515)
+
+    def test_tracking_probability_validation(self):
+        with pytest.raises(ValueError):
+            tracking_probability(0, 0)
+
+    def test_memory_saving_paper_example(self):
+        # "if |H| is no more than 10% of |W| ... 11x smaller" (Section 3).
+        assert memory_saving_factor(0.1) == pytest.approx(11.0)
+
+    def test_memory_saving_validation(self):
+        with pytest.raises(ValueError):
+            memory_saving_factor(0)
+
+    def test_inverse_normal_tail_known_points(self):
+        assert _inverse_normal_tail(0.5) == pytest.approx(0.0, abs=1e-6)
+        assert _inverse_normal_tail(0.1587) == pytest.approx(1.0, abs=5e-3)
+        assert _inverse_normal_tail(0.00135) == pytest.approx(3.0, abs=2e-2)
+
+
+class TestOccupancyModel:
+    def test_littles_law(self):
+        model = CTOccupancyModel(100.0, 20.0, 90, 10)
+        assert model.active_connections == pytest.approx(2000.0)
+        assert model.expected_tracked == pytest.approx(200.0)
+
+    def test_retention_adds_dead_entries(self):
+        lazy = CTOccupancyModel(100.0, 20.0, 90, 10, retention=30.0)
+        assert lazy.expected_tracked == pytest.approx(200.0 + 0.1 * 100 * 30)
+
+    def test_full_ct_ratio_matches_saving_factor(self):
+        model = CTOccupancyModel(50.0, 10.0, 90, 10)
+        ratio = model.full_ct_expected() / model.expected_tracked
+        assert ratio == pytest.approx(memory_saving_factor(10 / 90), rel=1e-9)
+
+    def test_table_size_exceeds_mean(self):
+        model = CTOccupancyModel(100.0, 20.0, 90, 10)
+        assert model.table_size_for(1e-3) > model.expected_tracked
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CTOccupancyModel(0, 1, 9, 1)
+        with pytest.raises(ValueError):
+            CTOccupancyModel(1, 1, 9, 1, retention=-1)
+        with pytest.raises(ValueError):
+            CTOccupancyModel(1, 1, 9, 1).table_size_for(0)
+
+
+class TestModelVsSimulation:
+    def test_predicts_ttl_ct_occupancy(self):
+        # Static backend so the tracked population is purely workload-driven.
+        duration_dist = Exponential(8.0)
+        cfg = SimulationConfig(
+            duration_s=60.0,
+            connection_rate=800.0,  # target concurrency
+            n_servers=45,
+            horizon_size=5,
+            update_rate_per_min=0.0,
+            duration_dist=duration_dist,
+            ct_policy="ttl",
+            ct_ttl=10.0,
+            mode="jet",
+            seed=9,
+        )
+        result = run_simulation(cfg)
+        arrival_rate = cfg.connection_rate / duration_dist.mean()
+        model = CTOccupancyModel(
+            arrival_rate, duration_dist.mean(), 45, 5, retention=10.0
+        )
+        measured = result.tracked_series[len(result.tracked_series) // 2 :]
+        mean_measured = sum(measured) / len(measured)
+        assert mean_measured == pytest.approx(model.expected_tracked, rel=0.30)

@@ -1,0 +1,179 @@
+"""AnchorHash-specific tests: bucket-layer invariants, the LIFO stack /
+horizon-region discipline, and the Algorithm 5 safety test."""
+
+import random
+
+import pytest
+
+from repro.ch.anchor import AnchorBuckets, AnchorHash
+from repro.ch.base import BackendError
+from repro.ch.properties import sample_keys
+
+
+class TestAnchorBuckets:
+    def test_init_working_count(self):
+        b = AnchorBuckets(16, 10)
+        assert b.N == 10
+        assert sum(b.is_working(i) for i in range(16)) == 10
+
+    def test_initial_removed_are_high_buckets(self):
+        b = AnchorBuckets(8, 5)
+        assert set(b.R) == {5, 6, 7}
+
+    def test_get_returns_working_bucket(self):
+        b = AnchorBuckets(32, 20)
+        for k in sample_keys(500, seed=1):
+            assert b.is_working(b.get(k))
+
+    def test_stack_holds_consecutive_a_values(self):
+        b = AnchorBuckets(32, 32)
+        rng = random.Random(3)
+        for _ in range(200):
+            if rng.random() < 0.5 and b.N > 1:
+                working = [i for i in range(32) if b.is_working(i)]
+                b.remove(rng.choice(working))
+            elif b.R:
+                b.add()
+            # Invariant: from the top down, A values are N, N+1, N+2, ...
+            for depth, bucket in enumerate(reversed(b.R)):
+                assert b.A[bucket] == b.N + depth
+
+    def test_add_restores_most_recent_removal(self):
+        b = AnchorBuckets(8, 8)
+        b.remove(2)
+        b.remove(5)
+        assert b.add() == 5
+        assert b.add() == 2
+
+    def test_remove_nonworking_raises(self):
+        b = AnchorBuckets(8, 4)
+        with pytest.raises(BackendError):
+            b.remove(7)  # already removed at init
+
+    def test_add_beyond_capacity_raises(self):
+        b = AnchorBuckets(4, 4)
+        with pytest.raises(BackendError):
+            b.add()
+
+    def test_lookup_with_no_working_raises(self):
+        b = AnchorBuckets(4, 4)
+        for i in range(4):
+            b.remove(i)
+        with pytest.raises(BackendError):
+            b.get(123)
+
+    def test_minimal_disruption_at_bucket_level(self):
+        b = AnchorBuckets(64, 40)
+        keys = sample_keys(2000, seed=9)
+        before = {k: b.get(k) for k in keys}
+        b.remove(7)
+        for k in keys:
+            after = b.get(k)
+            if before[k] != 7:
+                assert after == before[k]
+            else:
+                assert after != 7
+        b.add()  # restores bucket 7
+        assert all(b.get(k) == before[k] for k in keys)
+
+
+class TestAnchorHashSpecifics:
+    def make(self, n=12, h=3, capacity=None):
+        return AnchorHash(
+            [f"w{i}" for i in range(n)],
+            [f"h{i}" for i in range(h)],
+            capacity=capacity or 4 * (n + h),
+        )
+
+    def test_requires_initial_working_set(self):
+        with pytest.raises(BackendError):
+            AnchorHash([], ["h0"])
+
+    def test_capacity_too_small_raises(self):
+        with pytest.raises(BackendError):
+            AnchorHash(["a", "b"], ["c"], capacity=2)
+
+    def test_capacity_exhaustion_on_horizon_growth(self):
+        ch = AnchorHash(["a"], [], capacity=2)
+        ch.add_horizon("b")
+        with pytest.raises(BackendError):
+            ch.add_horizon("c")
+
+    def test_horizon_region_is_stack_top(self):
+        ch = self.make()
+        # The |H| most recently usable stack buckets must belong to horizon
+        # servers (the invariant the O(1) safety check relies on).
+        stack = ch._buckets.R
+        region = stack[-len(ch.horizon):]
+        owners = {ch._name_of.get(b) for b in region}
+        assert owners == set(ch.horizon)
+
+    def test_region_invariant_survives_churn(self):
+        ch = self.make()
+        rng = random.Random(5)
+        for step in range(120):
+            horizon = sorted(ch.horizon)
+            working = sorted(ch.working)
+            op = rng.random()
+            if op < 0.3 and horizon:
+                ch.add_working(rng.choice(horizon))
+            elif op < 0.55 and len(working) > 2:
+                ch.remove_working(rng.choice(working))
+            elif op < 0.7:
+                try:
+                    ch.add_horizon(f"n{step}")
+                except BackendError:
+                    pass  # capacity-bounded
+            elif op < 0.85 and horizon:
+                ch.remove_horizon(rng.choice(horizon))
+            else:
+                try:
+                    ch.force_add_working(f"f{step}")
+                except BackendError:
+                    pass
+            if ch.horizon:
+                stack = ch._buckets.R
+                region = stack[-len(ch.horizon):]
+                assert {ch._name_of.get(b) for b in region} == set(ch.horizon)
+
+    def test_expected_lookup_path_is_short(self):
+        # [23] proves O(1) expected jumps when the anchor is mostly full;
+        # with |W| = capacity/2 the path should average well under 3.
+        ch = self.make(n=40, h=4, capacity=88)
+        total = 0
+        keys = sample_keys(2000, seed=13)
+        for k in keys:
+            bucket, penultimate = ch._buckets.get_path(k)
+            # count jumps by walking again
+            jumps = 0
+            b = k % ch._buckets.capacity
+            while ch._buckets.A[b] > 0:
+                jumps += 1
+                h = ch._buckets._jump(b, k)
+                while ch._buckets.A[h] >= ch._buckets.A[b]:
+                    h = ch._buckets.K[h]
+                b = h
+            total += jumps
+        assert total / len(keys) < 3.0
+
+    def test_force_add_displaces_horizon_owner_consistently(self):
+        ch = self.make(n=6, h=2, capacity=32)
+        horizon_before = set(ch.horizon)
+        ch.force_add_working("intruder")
+        assert "intruder" in ch.working
+        assert set(ch.horizon) == horizon_before  # displaced owner re-seated
+        keys = sample_keys(300, seed=21)
+        for k in keys:
+            assert ch.lookup(k) in ch.working
+            destination, unsafe = ch.lookup_with_safety(k)
+            assert unsafe == (destination != ch.lookup_union(k))
+
+    def test_algorithm5_unsafe_means_union_goes_to_horizon(self):
+        ch = self.make()
+        for k in sample_keys(2000, seed=33):
+            destination, unsafe = ch.lookup_with_safety(k)
+            union = ch.lookup_union(k)
+            if unsafe:
+                assert union in ch.horizon
+            else:
+                assert union == destination

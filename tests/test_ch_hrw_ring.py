@@ -1,0 +1,97 @@
+"""HRW- and Ring-specific behaviour beyond the shared contract."""
+
+import pytest
+
+from repro.ch.base import BackendError
+from repro.ch.hrw import HRWHash
+from repro.ch.properties import sample_keys
+from repro.ch.ring import RingHash, _vnode_positions
+
+
+class TestHRW:
+    def test_winner_has_max_weight(self):
+        ch = HRWHash([f"w{i}" for i in range(8)], ["h0"])
+        for k in sample_keys(300, seed=2):
+            winner = ch.lookup(k)
+            weights = {
+                name: hasher.weight(k) for name, hasher in ch._working.items()
+            }
+            assert weights[winner] == max(weights.values())
+
+    def test_unsafe_iff_horizon_weight_beats_winner(self):
+        ch = HRWHash([f"w{i}" for i in range(8)], ["h0", "h1"])
+        for k in sample_keys(500, seed=3):
+            winner, unsafe = ch.lookup_with_safety(k)
+            winner_weight = ch._working[winner].weight(k)
+            beats = any(h.weight(k) > winner_weight for h in ch._horizon.values())
+            assert unsafe == beats
+
+    def test_empty_working_raises(self):
+        ch = HRWHash([], ["h0"])
+        with pytest.raises(BackendError):
+            ch.lookup(1)
+
+    def test_union_lookup_empty_everything_raises(self):
+        ch = HRWHash([], [])
+        with pytest.raises(BackendError):
+            ch.lookup_union(1)
+
+    def test_insertion_order_irrelevant(self):
+        keys = sample_keys(400, seed=4)
+        a = HRWHash(["s1", "s2", "s3", "s4"], [])
+        b = HRWHash(["s4", "s2", "s1", "s3"], [])
+        assert all(a.lookup(k) == b.lookup(k) for k in keys)
+
+
+class TestRing:
+    def test_vnode_positions_deterministic_and_distinct(self):
+        p1 = _vnode_positions("server-a", 100)
+        p2 = _vnode_positions("server-a", 100)
+        assert p1 == p2
+        assert len(set(p1)) == 100
+        assert set(p1) != set(_vnode_positions("server-b", 100))
+
+    def test_more_vnodes_better_balance(self):
+        keys = sample_keys(6000, seed=6)
+        working = [f"s{i}" for i in range(10)]
+
+        def spread(vnodes):
+            ch = RingHash(working, virtual_nodes=vnodes)
+            counts = {}
+            for k in keys:
+                d = ch.lookup(k)
+                counts[d] = counts.get(d, 0) + 1
+            mean = len(keys) / len(working)
+            return max(counts.values()) / mean
+
+        assert spread(200) < spread(2)
+
+    def test_invalid_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            RingHash(["a"], virtual_nodes=0)
+
+    def test_horizon_entry_maps_to_working_successor(self):
+        # Every key must be served by a *working* server even when its ring
+        # successor is a horizon vnode (Algorithm 3's two-step population).
+        ch = RingHash([f"s{i}" for i in range(5)], [f"t{i}" for i in range(5)],
+                      virtual_nodes=20)
+        for k in sample_keys(2000, seed=8):
+            destination, unsafe = ch.lookup_with_safety(k)
+            assert destination in ch.working
+            if unsafe:
+                assert ch.lookup_union(k) in ch.horizon
+
+    def test_rebuild_is_lazy_but_correct(self):
+        ch = RingHash(["a", "b", "c"], ["x"], virtual_nodes=30)
+        keys = sample_keys(200, seed=10)
+        before = [ch.lookup(k) for k in keys]
+        ch.remove_working("b")            # marks dirty
+        after = [ch.lookup(k) for k in keys]
+        assert all(d != "b" for d in after)
+        moved = sum(x != y for x, y in zip(before, after))
+        assert moved == sum(d == "b" for d in before)
+
+    def test_empty_working_raises(self):
+        ch = RingHash([], ["x"], virtual_nodes=10)
+        with pytest.raises(BackendError):
+            ch.lookup(1)

@@ -1,0 +1,116 @@
+"""Differential tests: incremental ring == rebuild-from-scratch ring."""
+
+import random
+
+import pytest
+
+from repro.ch.base import BackendError
+from repro.ch.properties import sample_keys
+from repro.ch.ring import RingHash
+from repro.ch.ring_incremental import IncrementalRingHash
+
+W = [f"w{i}" for i in range(8)]
+H = [f"h{i}" for i in range(3)]
+KEYS = sample_keys(800, seed=31)
+
+
+def assert_equivalent(incremental: IncrementalRingHash, keys=KEYS):
+    """Compare against a fresh ring built from the same sets."""
+    reference = RingHash(
+        sorted(incremental.working, key=str),
+        sorted(incremental.horizon, key=str),
+        virtual_nodes=incremental.virtual_nodes,
+    )
+    for k in keys:
+        assert incremental.lookup_with_safety(k) == reference.lookup_with_safety(k)
+
+
+class TestFreshEquivalence:
+    def test_initial_state_matches_rebuild(self):
+        assert_equivalent(IncrementalRingHash(W, H, virtual_nodes=20))
+
+    def test_no_horizon(self):
+        assert_equivalent(IncrementalRingHash(W, [], virtual_nodes=20))
+
+
+class TestSingleOps:
+    def make(self):
+        return IncrementalRingHash(W, H, virtual_nodes=20)
+
+    def test_add_working(self):
+        ch = self.make()
+        ch.add_working("h0")
+        assert_equivalent(ch)
+
+    def test_remove_working(self):
+        ch = self.make()
+        ch.remove_working("w3")
+        assert_equivalent(ch)
+
+    def test_add_horizon(self):
+        ch = self.make()
+        ch.add_horizon("fresh")
+        assert_equivalent(ch)
+
+    def test_remove_horizon(self):
+        ch = self.make()
+        ch.remove_horizon("h1")
+        assert_equivalent(ch)
+
+    def test_remove_then_readd(self):
+        ch = self.make()
+        before = [ch.lookup(k) for k in KEYS]
+        ch.remove_working("w5")
+        ch.add_working("w5")
+        assert [ch.lookup(k) for k in KEYS] == before
+
+    def test_error_paths(self):
+        ch = self.make()
+        with pytest.raises(BackendError):
+            ch.add_working("nope")
+        with pytest.raises(BackendError):
+            ch.remove_working("h0")
+        with pytest.raises(BackendError):
+            ch.add_horizon("w0")
+        with pytest.raises(BackendError):
+            ch.remove_horizon("w0")
+
+
+class TestChurnEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_sequences_stay_equivalent(self, seed):
+        ch = IncrementalRingHash(W, H, virtual_nodes=12)
+        rng = random.Random(seed)
+        for step in range(40):
+            working = sorted(ch.working, key=str)
+            horizon = sorted(ch.horizon, key=str)
+            op = rng.random()
+            if op < 0.3 and horizon:
+                ch.add_working(rng.choice(horizon))
+            elif op < 0.6 and len(working) > 1:
+                ch.remove_working(rng.choice(working))
+            elif op < 0.8:
+                ch.add_horizon(f"s{seed}-{step}")
+            elif horizon:
+                ch.remove_horizon(rng.choice(horizon))
+            if ch.working:
+                assert_equivalent(ch, KEYS[:200])
+
+    def test_empty_working_recovery(self):
+        ch = IncrementalRingHash(["only"], ["h0"], virtual_nodes=10)
+        ch.remove_working("only")
+        with pytest.raises(BackendError):
+            ch.lookup(1)
+        ch.add_working("only")  # triggers the lazy rebuild path
+        assert_equivalent(ch, KEYS[:100])
+
+
+class TestJETContractHolds:
+    def test_safety_flag_vs_union(self):
+        ch = IncrementalRingHash(W, H, virtual_nodes=20)
+        ch.remove_working("w0")
+        ch.add_working("h2")
+        for k in KEYS:
+            destination, unsafe = ch.lookup_with_safety(k)
+            assert destination in ch.working
+            assert unsafe == (destination != ch.lookup_union(k))

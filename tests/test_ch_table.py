@@ -1,0 +1,122 @@
+"""Table-based HRW tests: Algorithm 4 semantics, vector-vs-scalar
+equivalence, and the single-boolean-per-row memory claim."""
+
+import random
+
+import pytest
+
+from repro.ch.base import BackendError
+from repro.ch.properties import sample_keys
+from repro.ch.table_hrw import ScalarTableHRW, TableHRWHash, rows_for
+
+W = [f"w{i}" for i in range(10)]
+H = [f"h{i}" for i in range(2)]
+
+
+class TestRowsFor:
+    def test_paper_sizing(self):
+        assert rows_for(50) == 15_000
+        assert rows_for(500) == 150_000
+        assert rows_for(10, copies=100) == 1_000
+
+    def test_minimum_one_row(self):
+        assert rows_for(0) == 1
+
+
+class TestRowSemantics:
+    def test_same_row_same_destination(self):
+        ch = TableHRWHash(W, H, rows=127)
+        k1, k2 = 127 * 3 + 5, 127 * 10 + 5  # same row
+        assert ch.lookup(k1) == ch.lookup(k2)
+        assert ch.lookup_with_safety(k1) == ch.lookup_with_safety(k2)
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ValueError):
+            TableHRWHash(W, rows=0)
+
+    def test_tracked_row_fraction_near_theory(self):
+        ch = TableHRWHash(W, H, rows=8209)
+        expected = len(H) / (len(W) + len(H))
+        assert ch.tracked_row_fraction() == pytest.approx(expected, rel=0.3)
+
+    def test_empty_working_lookup_raises(self):
+        ch = TableHRWHash([], ["h0"], rows=17)
+        with pytest.raises(BackendError):
+            ch.lookup(5)
+
+
+class TestAlgorithm4Updates:
+    def test_add_working_claims_only_tracked_rows(self):
+        ch = TableHRWHash(W, H, rows=509)
+        tr_before = ch._tr.copy()
+        winners_before = ch._ch.copy()
+        ch.add_working(H[0])
+        changed = winners_before != ch._ch
+        # Every row that changed winner was a tracked row beforehand.
+        assert bool((changed & ~tr_before).any()) is False
+
+    def test_remove_working_marks_owned_rows_unsafe(self):
+        ch = TableHRWHash(W, H, rows=509)
+        victim_id = ch._ids[W[0]]
+        owned = ch._ch == victim_id
+        ch.remove_working(W[0])
+        assert bool(ch._tr[owned].all()) is True
+
+    def test_add_horizon_only_raises_flags(self):
+        ch = TableHRWHash(W, H, rows=509)
+        tr_before = ch._tr.copy()
+        winners_before = ch._ch.copy()
+        ch.add_horizon("late")
+        assert (ch._ch == winners_before).all()  # winners untouched
+        assert bool((tr_before & ~ch._tr).any()) is False  # flags never drop
+
+    def test_remove_horizon_only_lowers_flags(self):
+        ch = TableHRWHash(W, H, rows=509)
+        tr_before = ch._tr.copy()
+        ch.remove_horizon(H[0])
+        assert bool((~tr_before & ch._tr).any()) is False
+
+    def test_empty_horizon_means_no_tracking(self):
+        ch = TableHRWHash(W, H, rows=509)
+        for h in list(ch.horizon):
+            ch.remove_horizon(h)
+        assert ch.tracked_row_fraction() == 0.0
+
+
+class TestVectorVsScalarReference:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_operation_sequences_agree(self, seed):
+        rows = 193
+        vec = TableHRWHash(W, H, rows=rows)
+        ref = ScalarTableHRW(W, H, rows=rows)
+        rng = random.Random(seed)
+        keys = sample_keys(200, seed=seed)
+        for step in range(50):
+            working = sorted(vec.working, key=str)
+            horizon = sorted(vec.horizon, key=str)
+            op = rng.random()
+            if op < 0.3 and horizon:
+                s = rng.choice(horizon)
+                vec.add_working(s)
+                ref.add_working(s)
+            elif op < 0.6 and len(working) > 2:
+                s = rng.choice(working)
+                vec.remove_working(s)
+                ref.remove_working(s)
+            elif op < 0.8:
+                s = f"x{seed}-{step}"
+                vec.add_horizon(s)
+                ref.add_horizon(s)
+            elif horizon:
+                s = rng.choice(horizon)
+                vec.remove_horizon(s)
+                ref.remove_horizon(s)
+            for k in keys:
+                assert vec.lookup_with_safety(k) == ref.lookup_with_safety(k)
+
+    def test_fresh_tables_agree_row_by_row(self):
+        rows = 311
+        vec = TableHRWHash(W, H, rows=rows)
+        ref = ScalarTableHRW(W, H, rows=rows)
+        for row in range(rows):
+            assert vec.lookup_with_safety(row) == ref.lookup_with_safety(row)

@@ -1,0 +1,117 @@
+"""Weighted CH tests: proportional balance + JET compatibility."""
+
+import pytest
+
+from repro.ch.base import BackendError
+from repro.ch.properties import sample_keys
+from repro.ch.weighted import WeightedHRWHash, WeightedRingHash
+from repro.core import JETLoadBalancer
+
+KEYS = sample_keys(30_000, seed=91)
+
+
+def share(ch, keys, name):
+    return sum(ch.lookup(k) == name for k in keys) / len(keys)
+
+
+class TestWeightedHRW:
+    def test_uniform_weights_behave_uniformly(self):
+        ch = WeightedHRWHash({f"s{i}": 1.0 for i in range(10)})
+        for i in range(10):
+            assert share(ch, KEYS[:10_000], f"s{i}") == pytest.approx(0.1, rel=0.25)
+
+    def test_share_proportional_to_weight(self):
+        ch = WeightedHRWHash({"small": 1.0, "big": 3.0})
+        assert share(ch, KEYS, "big") == pytest.approx(0.75, rel=0.05)
+
+    def test_three_way_weights(self):
+        ch = WeightedHRWHash({"a": 1.0, "b": 2.0, "c": 7.0})
+        assert share(ch, KEYS, "a") == pytest.approx(0.1, rel=0.15)
+        assert share(ch, KEYS, "c") == pytest.approx(0.7, rel=0.1)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(BackendError):
+            WeightedHRWHash({"a": 0.0})
+        with pytest.raises(BackendError):
+            WeightedHRWHash({"a": -2.0})
+
+    def test_weight_of(self):
+        ch = WeightedHRWHash({"a": 2.5}, {"h": 1.5})
+        assert ch.weight_of("a") == 2.5
+        assert ch.weight_of("h") == 1.5
+        with pytest.raises(BackendError):
+            ch.weight_of("nope")
+
+    def test_safety_flag_matches_union(self):
+        ch = WeightedHRWHash({f"s{i}": 1.0 + i % 3 for i in range(8)}, {"h0": 2.0})
+        for k in KEYS[:3000]:
+            destination, unsafe = ch.lookup_with_safety(k)
+            assert unsafe == (destination != ch.lookup_union(k))
+
+    def test_tracking_probability_is_weight_fraction(self):
+        # Generalized Theorem 4.2: P(track) = weight(H) / weight(W ∪ H).
+        ch = WeightedHRWHash({f"s{i}": 1.0 for i in range(9)}, {"h0": 3.0})
+        tracked = sum(ch.lookup_with_safety(k)[1] for k in KEYS)
+        assert tracked / len(KEYS) == pytest.approx(3 / 12, rel=0.15)
+
+    def test_minimal_disruption(self):
+        ch = WeightedHRWHash({f"s{i}": 1.0 + (i % 2) for i in range(6)})
+        before = {k: ch.lookup(k) for k in KEYS[:5000]}
+        ch.remove_working("s3")
+        for k, d in before.items():
+            if d != "s3":
+                assert ch.lookup(k) == d
+
+    def test_jet_integration_pcc(self):
+        ch = WeightedHRWHash({f"s{i}": 1.0 + i for i in range(5)}, {"h0": 4.0})
+        lb = JETLoadBalancer(ch)
+        first = {k: lb.get_destination(k) for k in KEYS[:4000]}
+        lb.add_working_server("h0")
+        assert all(lb.get_destination(k) == first[k] for k in first)
+
+    def test_horizon_add_with_weight(self):
+        ch = WeightedHRWHash({"a": 1.0})
+        ch.add_horizon("h", weight=5.0)
+        assert ch.weight_of("h") == 5.0
+        ch.add_working("h")
+        assert share(ch, KEYS[:10_000], "h") == pytest.approx(5 / 6, rel=0.1)
+
+    def test_empty_lookup_raises(self):
+        with pytest.raises(BackendError):
+            WeightedHRWHash().lookup(1)
+
+
+class TestWeightedRing:
+    def test_share_roughly_proportional(self):
+        ch = WeightedRingHash({"small": 1.0, "big": 3.0}, base_virtual_nodes=200)
+        assert share(ch, KEYS[:15_000], "big") == pytest.approx(0.75, rel=0.12)
+
+    def test_vnode_counts_scale(self):
+        ch = WeightedRingHash({"a": 1.0, "b": 2.5}, base_virtual_nodes=100)
+        assert len(ch._working["a"]) == 100
+        assert len(ch._working["b"]) == 250
+
+    def test_safety_flag_matches_union(self):
+        ch = WeightedRingHash(
+            {f"s{i}": 1.0 + (i % 2) for i in range(6)},
+            {"h0": 2.0},
+            base_virtual_nodes=40,
+        )
+        for k in KEYS[:2000]:
+            destination, unsafe = ch.lookup_with_safety(k)
+            assert destination in ch.working
+            assert unsafe == (destination != ch.lookup_union(k))
+
+    def test_remove_readd_restores(self):
+        ch = WeightedRingHash({"a": 2.0, "b": 1.0, "c": 1.5}, base_virtual_nodes=60)
+        before = [ch.lookup(k) for k in KEYS[:2000]]
+        ch.remove_working("a")
+        ch.add_working("a")
+        assert [ch.lookup(k) for k in KEYS[:2000]] == before
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(BackendError):
+            WeightedRingHash({"a": -1.0})
+        ch = WeightedRingHash({"a": 1.0})
+        with pytest.raises(BackendError):
+            ch.add_horizon("h", weight=0.0)

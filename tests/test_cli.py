@@ -1,0 +1,83 @@
+"""CLI tests (direct invocation of repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.mode == "jet"
+        assert args.family == "anchor"
+
+
+class TestCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_simulate_runs(self, capsys):
+        code = main(
+            [
+                "simulate", "--servers", "20", "--horizon", "2",
+                "--rate", "100", "--duration", "5", "--update-rate", "6",
+                "--downtime", "2",
+            ]
+        )
+        assert code == 0
+        assert "PCC violations" in capsys.readouterr().out
+
+    def test_simulate_ttl_policy(self, capsys):
+        code = main(
+            [
+                "simulate", "--servers", "20", "--horizon", "2",
+                "--rate", "100", "--duration", "5", "--ct-policy", "ttl",
+                "--ct-ttl", "3",
+            ]
+        )
+        assert code == 0
+
+    def test_trace_generate_info_replay_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "t.npz")
+        assert (
+            main(
+                [
+                    "trace", "generate", "zipf", "--skew", "1.0",
+                    "--packets", "20000", "--out", out,
+                ]
+            )
+            == 0
+        )
+        assert main(["trace", "info", out]) == 0
+        assert (
+            main(
+                [
+                    "trace", "replay", out, "--family", "anchor",
+                    "--mode", "jet", "--servers", "10", "--horizon", "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "tracked=" in output
+
+    def test_trace_replay_maglev_full(self, tmp_path, capsys):
+        out = str(tmp_path / "t.npz")
+        main(["trace", "generate", "zipf", "--packets", "10000", "--out", out])
+        assert (
+            main(["trace", "replay", out, "--family", "maglev", "--mode", "full"])
+            == 0
+        )
+
+    def test_experiment_theory_smoke(self, capsys):
+        assert main(["experiment", "theory"]) == 0
+        assert "Theorem 4.2" in capsys.readouterr().out

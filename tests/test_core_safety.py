@@ -1,0 +1,76 @@
+"""Tests for the Section 2.1 safety model."""
+
+import pytest
+
+from repro.ch import HRWHash
+from repro.ch.properties import sample_keys
+from repro.core.safety import (
+    SafetyClass,
+    SafetyReport,
+    classify_event,
+    classify_for_horizon,
+)
+
+W = [f"w{i}" for i in range(8)]
+KEYS = sample_keys(1500, seed=13)
+
+
+class TestClassifyEvent:
+    def test_three_way_partition_on_removal(self):
+        ch = HRWHash(W, ["h0"])
+        truth = {k: ch.lookup(k) for k in KEYS}
+        victim = W[0]
+        ch.remove_working(victim)
+        report = classify_event(truth, ch.lookup, removed=victim)
+        assert report.total == len(KEYS)
+        # Inevitably broken = exactly the victim's connections.
+        assert report.inevitably_broken == {k for k, d in truth.items() if d == victim}
+        # Consistent hashing: a removal makes nothing unsafe (property 1 of
+        # Section 2.4).
+        assert report.unsafe == set()
+
+    def test_addition_has_no_inevitable_breakage(self):
+        ch = HRWHash(W, ["h0"])
+        truth = {k: ch.lookup(k) for k in KEYS}
+        ch.add_working("h0")
+        report = classify_event(truth, ch.lookup, removed=None)
+        assert report.inevitably_broken == set()
+        # Unsafe = precisely keys the new server captured.
+        assert all(ch.lookup(k) == "h0" for k in report.unsafe)
+        assert report.unsafe_fraction == pytest.approx(1 / 9, rel=0.5)
+
+    def test_classify_lookup(self):
+        report = SafetyReport(safe={1}, unsafe={2}, inevitably_broken={3})
+        assert report.classify(1) is SafetyClass.SAFE
+        assert report.classify(2) is SafetyClass.UNSAFE
+        assert report.classify(3) is SafetyClass.INEVITABLY_BROKEN
+        with pytest.raises(KeyError):
+            report.classify(4)
+
+    def test_unsafe_fraction_excludes_inevitable(self):
+        report = SafetyReport(safe={1, 2, 3}, unsafe={4}, inevitably_broken={5, 6})
+        assert report.unsafe_fraction == pytest.approx(0.25)
+
+    def test_empty_report(self):
+        report = SafetyReport()
+        assert report.total == 0
+        assert report.unsafe_fraction == 0.0
+
+
+class TestClassifyForHorizon:
+    def test_matches_lookup_with_safety(self):
+        # Theorem 4.4: the connections JET flags unsafe must be exactly the
+        # whole-horizon-addition unsafe set.
+        ch = HRWHash(W, ["h0", "h1"])
+        truth = {k: ch.lookup(k) for k in KEYS}
+        report = classify_for_horizon(truth, ch.lookup_union)
+        flagged = {k for k in KEYS if ch.lookup_with_safety(k)[1]}
+        assert report.unsafe == flagged
+        assert report.inevitably_broken == set()
+
+    def test_no_horizon_means_all_safe(self):
+        ch = HRWHash(W, [])
+        truth = {k: ch.lookup(k) for k in KEYS[:200]}
+        report = classify_for_horizon(truth, ch.lookup_union)
+        assert report.unsafe == set()
+        assert len(report.safe) == 200

@@ -1,0 +1,112 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import pytest
+
+from repro.ch import AnchorHash, HRWHash, RingHash
+from repro.ch.base import BackendError
+from repro.ch.properties import sample_keys
+from repro.core import FullCTLoadBalancer, JETLoadBalancer
+from repro.core.lb_pool import LBPool
+from repro.sim import Constant, SimulationConfig, run_simulation
+from repro.traces.io import load_trace, save_trace
+from repro.traces.zipf import zipf_trace
+
+KEYS = sample_keys(500, seed=81)
+
+
+class TestLastServerProtection:
+    def test_simulator_never_removes_last_server(self):
+        # Update rate absurdly high vs a 2-server backend: the simulator
+        # must keep at least one server up at all times.
+        cfg = SimulationConfig(
+            duration_s=10.0,
+            connection_rate=50.0,
+            n_servers=2,
+            horizon_size=1,
+            update_rate_per_min=600.0,
+            downtime_dist=Constant(30.0),
+            seed=1,
+        )
+        result = run_simulation(cfg)
+        assert result.flows_started > 0  # ran to completion, no crash
+
+
+class TestSingleServerBackends:
+    def test_hrw_single_server(self):
+        ch = HRWHash(["solo"], ["spare"])
+        for k in KEYS:
+            destination, unsafe = ch.lookup_with_safety(k)
+            assert destination == "solo"
+        # About half the keys prefer the spare.
+        unsafe_count = sum(ch.lookup_with_safety(k)[1] for k in KEYS)
+        assert 0.3 < unsafe_count / len(KEYS) < 0.7
+
+    def test_anchor_single_server(self):
+        ch = AnchorHash(["solo"], ["spare"], capacity=8)
+        assert all(ch.lookup(k) == "solo" for k in KEYS)
+
+    def test_jet_single_server_pcc(self):
+        lb = JETLoadBalancer(HRWHash(["solo"], ["spare"]))
+        first = {k: lb.get_destination(k) for k in KEYS}
+        lb.add_working_server("spare")
+        assert all(lb.get_destination(k) == first[k] for k in KEYS)
+
+
+class TestHugeChurn:
+    def test_backend_fully_cycled(self):
+        # Replace the entire backend one server at a time; connections to
+        # surviving servers must never move until their server's turn.
+        working = [f"old{i}" for i in range(6)]
+        horizon = [f"new{i}" for i in range(6)]
+        lb = JETLoadBalancer(AnchorHash(working, horizon, capacity=48))
+        truth = {k: lb.get_destination(k) for k in KEYS}
+        for old, new in zip(working, horizon):
+            lb.add_working_server(new)
+            lb.remove_working_server(old)
+            lb.remove_horizon_server(old)
+            truth = {k: d for k, d in truth.items() if d != old}
+            for k, d in truth.items():
+                assert lb.get_destination(k) == d
+        assert lb.working == frozenset(horizon)
+
+    def test_rapid_flapping_server(self):
+        lb = JETLoadBalancer(RingHash([f"s{i}" for i in range(5)], ["f"], virtual_nodes=20))
+        lb.add_working_server("f")
+        truth = {k: lb.get_destination(k) for k in KEYS}
+        for _ in range(10):  # f flaps up and down
+            lb.remove_working_server("f")
+            truth = {k: d for k, d in truth.items() if d != "f"}
+            for k, d in truth.items():
+                assert lb.get_destination(k) == d
+            lb.add_working_server("f")
+            for k, d in truth.items():
+                assert lb.get_destination(k) == d
+
+
+class TestPoolShrink:
+    def test_remove_lb_resteers_without_backend_change(self):
+        pool = LBPool(lambda: FullCTLoadBalancer(HRWHash(W := [f"w{i}" for i in range(8)], [])), size=3)
+        first = {k: pool.get_destination(k) for k in KEYS}
+        pool.remove_lb()
+        assert pool.size == 2
+        # No backend change happened: CH answers alone preserve PCC.
+        assert all(pool.get_destination(k) == d for k, d in first.items())
+
+
+class TestTraceIOSuffixes:
+    def test_save_load_without_npz_suffix(self, tmp_path):
+        trace = zipf_trace(1.0, n_packets=500, population=300, seed=1)
+        save_trace(trace, tmp_path / "plain")
+        loaded = load_trace(tmp_path / "plain")
+        assert loaded.n_packets == 500
+
+
+class TestErrorMessages:
+    def test_backend_error_is_value_error(self):
+        assert issubclass(BackendError, ValueError)
+
+    def test_helpful_unknown_family_message(self):
+        from repro.core import make_ch
+
+        with pytest.raises(ValueError, match="maglev"):
+            make_ch("bogus", ["a"])

@@ -1,0 +1,60 @@
+"""Remaining scale-preset and fig-harness coverage."""
+
+import pytest
+
+from repro.experiments.scales import (
+    REPEATS,
+    SCALES,
+    TRACE_SCALES,
+    ZIPF_SCALES,
+    base_config,
+    repeats,
+    trace_scale,
+    zipf_params,
+)
+
+
+class TestPresetTables:
+    def test_all_presets_defined_consistently(self):
+        assert set(SCALES) == set(TRACE_SCALES) == set(ZIPF_SCALES) == set(REPEATS)
+
+    def test_paper_preset_matches_publication(self):
+        cfg = base_config("paper")
+        assert cfg.n_servers == 468
+        assert cfg.horizon_size == 47
+        assert cfg.duration_s == 1000.0
+        assert cfg.connection_rate == 100_000.0
+        assert TRACE_SCALES["paper"] == 1.0
+        assert ZIPF_SCALES["paper"]["n_packets"] == 100_000_000
+        assert REPEATS["paper"] == 10  # the paper's repetition count
+
+    def test_horizon_is_ten_percent_everywhere(self):
+        for name in SCALES:
+            cfg = base_config(name)
+            assert cfg.horizon_size == pytest.approx(0.1 * cfg.n_servers, rel=0.05)
+
+    def test_downtime_scales_with_duration(self):
+        smoke = base_config("smoke").downtime_dist
+        paper = base_config("paper").downtime_dist
+        assert smoke.mean() < paper.mean()
+
+    def test_helpers_return_active_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert trace_scale() == TRACE_SCALES["smoke"]
+        assert zipf_params() == ZIPF_SCALES["smoke"]
+        assert repeats() == REPEATS["smoke"]
+
+    def test_zipf_params_is_a_copy(self):
+        params = zipf_params("smoke")
+        params["n_packets"] = 1
+        assert ZIPF_SCALES["smoke"]["n_packets"] != 1
+
+
+class TestConfigWith:
+    def test_with_creates_modified_copy(self):
+        cfg = base_config("smoke")
+        other = cfg.with_(seed=99, mode="full")
+        assert other.seed == 99
+        assert other.mode == "full"
+        assert cfg.seed != 99 or cfg.mode == "jet"  # original untouched
+        assert cfg.mode == "jet"

@@ -1,0 +1,77 @@
+"""Unit tests for keyed hashing (connection identifiers, server seeds)."""
+
+import pytest
+
+from repro.hashing.keyed import KeyedHasher, hash_int, hash_key, hash_str, server_seed
+from repro.hashing.mix import MASK64
+
+
+class TestHashKey:
+    def test_int_string_bytes_tuple_all_supported(self):
+        for key in (42, "flow-1", b"\x01\x02", ("10.0.0.1", 443, "t", 5)):
+            assert 0 <= hash_key(key) <= MASK64
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            hash_key(3.14)
+
+    def test_int_and_equal_string_differ(self):
+        assert hash_key(7) != hash_key("7")
+
+    def test_seed_changes_result(self):
+        assert hash_key("conn", seed=1) != hash_key("conn", seed=2)
+
+    def test_tuple_order_matters(self):
+        assert hash_key((1, 2)) != hash_key((2, 1))
+
+    def test_nested_tuples(self):
+        assert hash_key(((1, 2), 3)) != hash_key((1, (2, 3)))
+
+    def test_deterministic_across_calls(self):
+        assert hash_key(("a", 1)) == hash_key(("a", 1))
+
+    def test_int_path_matches_hash_int(self):
+        assert hash_key(123) == hash_int(123)
+
+    def test_str_path_matches_hash_str(self):
+        assert hash_key("abc") == hash_str("abc")
+
+
+class TestServerSeed:
+    def test_deterministic(self):
+        assert server_seed("srv-1") == server_seed("srv-1")
+
+    def test_distinct_names_distinct_seeds(self):
+        seeds = {server_seed(f"srv-{i}") for i in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_int_names_supported(self):
+        assert server_seed(5) == server_seed(5)
+        assert server_seed(5) != server_seed(6)
+
+
+class TestKeyedHasher:
+    def test_weight_deterministic(self):
+        h = KeyedHasher("server-a")
+        assert h.weight(999) == h.weight(999)
+
+    def test_different_servers_independent_streams(self):
+        a, b = KeyedHasher("a"), KeyedHasher("b")
+        agreements = sum(a.weight(k) == b.weight(k) for k in range(2000))
+        assert agreements == 0
+
+    def test_weight_varies_with_key(self):
+        h = KeyedHasher("a")
+        assert len({h.weight(k) for k in range(2000)}) == 2000
+
+    def test_same_name_same_stream(self):
+        assert KeyedHasher("x").weight(7) == KeyedHasher("x").weight(7)
+
+    def test_uniformity_of_argmax(self):
+        # Rendezvous fairness: each of 8 servers should win ~1/8 of keys.
+        hashers = [KeyedHasher(f"s{i}") for i in range(8)]
+        wins = [0] * 8
+        for k in range(8000):
+            weights = [h.weight(k * 2654435761) for h in hashers]
+            wins[weights.index(max(weights))] += 1
+        assert min(wins) > 800 and max(wins) < 1200

@@ -1,0 +1,52 @@
+"""Unit tests for the pure-Python xxHash64."""
+
+import pytest
+
+from repro.hashing.mix import MASK64
+from repro.hashing.xxh import xxhash64
+
+
+class TestReferenceVectors:
+    def test_empty_input_seed0(self):
+        # Canonical XXH64 test vector.
+        assert xxhash64(b"") == 0xEF46DB3751D8E999
+
+    def test_empty_input_nonzero_seed_differs(self):
+        assert xxhash64(b"", seed=1) != xxhash64(b"", seed=0)
+
+    def test_seed_wraps_at_64_bits(self):
+        assert xxhash64(b"abc", seed=2**64 + 3) == xxhash64(b"abc", seed=3)
+
+
+class TestStructure:
+    def test_deterministic(self):
+        assert xxhash64(b"hello world") == xxhash64(b"hello world")
+
+    def test_bounded(self):
+        for n in range(0, 100, 7):
+            assert 0 <= xxhash64(bytes(range(n % 256)) * (n // 256 + 1)) <= MASK64
+
+    @pytest.mark.parametrize(
+        "length", [0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 65, 100, 1000]
+    )
+    def test_all_block_paths_distinct(self, length):
+        # Cover the <32-byte path, the 32-byte striping path, and each of
+        # the 8/4/1-byte tail handlers; nearby lengths must not collide.
+        data = bytes((i * 131 + 17) % 256 for i in range(length + 1))
+        assert xxhash64(data[:length]) != xxhash64(data[: length + 1])
+
+    def test_last_byte_matters(self):
+        a = b"x" * 40 + b"a"
+        b = b"x" * 40 + b"b"
+        assert xxhash64(a) != xxhash64(b)
+
+    def test_first_byte_matters(self):
+        assert xxhash64(b"a" + b"x" * 40) != xxhash64(b"b" + b"x" * 40)
+
+    def test_no_trivial_length_extension(self):
+        assert xxhash64(b"ab") != xxhash64(b"a")
+
+    def test_distribution_over_counter_inputs(self):
+        # Low bits should be close to uniform over sequential inputs.
+        ones = sum(xxhash64(i.to_bytes(8, "little")) & 1 for i in range(4000))
+        assert 1800 <= ones <= 2200

@@ -1,0 +1,117 @@
+"""LB-pool (Section 6.2) tests."""
+
+import pytest
+
+from repro.ch import AnchorHash, HRWHash
+from repro.ch.properties import sample_keys
+from repro.core import FullCTLoadBalancer, JETLoadBalancer
+from repro.core.lb_pool import LBPool
+
+W = [f"w{i}" for i in range(12)]
+H = ["h0", "h1"]
+KEYS = sample_keys(2000, seed=61)
+
+
+def jet_factory():
+    return JETLoadBalancer(HRWHash(W, H))
+
+
+def full_factory():
+    return FullCTLoadBalancer(HRWHash(W, H))
+
+
+class TestSteering:
+    def test_pool_size_validation(self):
+        with pytest.raises(ValueError):
+            LBPool(jet_factory, size=0)
+
+    def test_steering_is_deterministic_and_spread(self):
+        pool = LBPool(jet_factory, size=4)
+        assignments = [pool._steer(k) for k in KEYS]
+        assert assignments == [pool._steer(k) for k in KEYS]
+        counts = {id(m): 0 for m in pool.members}
+        for member in assignments:
+            counts[id(member)] += 1
+        assert min(counts.values()) > len(KEYS) / 8  # roughly even
+
+    def test_destinations_valid(self):
+        pool = LBPool(jet_factory, size=3)
+        for k in KEYS[:300]:
+            assert pool.get_destination(k) in pool.working
+
+
+class TestBackendBroadcast:
+    def test_backend_events_reach_all_members(self):
+        pool = LBPool(jet_factory, size=3)
+        pool.remove_working_server(W[0])
+        assert all(W[0] not in m.working for m in pool.members)
+        pool.add_working_server(W[0])
+        assert all(W[0] in m.working for m in pool.members)
+
+    def test_horizon_events_reach_all_members(self):
+        pool = LBPool(jet_factory, size=2)
+        pool.add_horizon_server("h9")
+        assert all("h9" in m.horizon for m in pool.members)
+        pool.remove_horizon_server("h9")
+        assert all("h9" not in m.horizon for m in pool.members)
+
+
+class TestPoolChanges:
+    def test_cannot_remove_last(self):
+        pool = LBPool(jet_factory, size=1)
+        with pytest.raises(ValueError):
+            pool.remove_lb()
+
+    def test_new_member_gets_current_backend_state(self):
+        pool = LBPool(jet_factory, size=2)
+        pool.remove_working_server(W[0])
+        pool.add_working_server("h0")
+        member = pool.add_lb()
+        assert member.working == pool.members[0].working
+        assert member.horizon == pool.members[0].horizon
+
+    def test_pool_growth_resteers_and_breaks_unsynced(self):
+        # §6.2: after a backend *addition*, tracked connections are pinned
+        # to destinations that disagree with the current CH; re-steering
+        # them onto a CT-less new LB breaks them.
+        pool = LBPool(full_factory, size=3, sync=False)
+        first = {k: pool.get_destination(k) for k in KEYS}
+        pool.add_working_server("h0")
+        for k in first:
+            assert pool.get_destination(k) == first[k]  # CT protects them
+        pool.add_lb()  # mod-n re-steer
+        broken = sum(pool.get_destination(k) != d for k, d in first.items())
+        assert broken > 0  # the Section 6.2 failure mode
+
+    def test_sync_prevents_breakage(self):
+        pool = LBPool(full_factory, size=3, sync=True)
+        first = {k: pool.get_destination(k) for k in KEYS}
+        pool.add_working_server("h0")
+        for k in first:
+            pool.get_destination(k)
+        pool.add_lb()
+        broken = sum(pool.get_destination(k) != d for k, d in first.items())
+        assert broken == 0
+        assert pool.synced_entries > 0
+
+
+class TestSyncEconomy:
+    def test_jet_syncs_fraction_of_full(self):
+        jet_pool = LBPool(
+            lambda: JETLoadBalancer(AnchorHash(W, H, capacity=56)), size=2, sync=True
+        )
+        full_pool = LBPool(
+            lambda: FullCTLoadBalancer(AnchorHash(W, H, capacity=56)), size=2, sync=True
+        )
+        for k in KEYS:
+            jet_pool.get_destination(k)
+            full_pool.get_destination(k)
+        assert full_pool.synced_entries == len(KEYS)
+        ratio = jet_pool.synced_entries / full_pool.synced_entries
+        assert ratio == pytest.approx(len(H) / (len(W) + len(H)), rel=0.4)
+
+    def test_tracked_total_aggregates_members(self):
+        pool = LBPool(full_factory, size=2, sync=False)
+        for k in KEYS[:100]:
+            pool.get_destination(k)
+        assert pool.tracked_connections == 100  # each flow on exactly one LB

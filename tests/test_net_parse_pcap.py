@@ -1,0 +1,177 @@
+"""Packet parsing and pcap container tests."""
+
+import struct
+
+import pytest
+
+from repro.net.flow import PROTO_TCP, PROTO_UDP, FiveTuple
+from repro.net.parse import (
+    ParseError,
+    build_ethernet,
+    build_ipv4,
+    parse_ethernet,
+    parse_ipv4,
+    try_parse_ethernet,
+)
+from repro.net.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW_IPV4,
+    PcapError,
+    read_pcap,
+    write_pcap,
+)
+from repro.traces.from_pcap import trace_from_pcap
+
+FT_TCP = FiveTuple.make("192.0.2.1", "198.51.100.9", 40000, 443, PROTO_TCP)
+FT_UDP = FiveTuple.make("10.1.2.3", "10.4.5.6", 5353, 53, PROTO_UDP)
+
+
+class TestBuildParseRoundtrip:
+    @pytest.mark.parametrize("ft", [FT_TCP, FT_UDP])
+    def test_ipv4_roundtrip(self, ft):
+        assert parse_ipv4(build_ipv4(ft)) == ft
+
+    @pytest.mark.parametrize("ft", [FT_TCP, FT_UDP])
+    def test_ethernet_roundtrip(self, ft):
+        assert parse_ethernet(build_ethernet(ft)) == ft
+
+    def test_payload_does_not_affect_tuple(self):
+        assert parse_ipv4(build_ipv4(FT_TCP, b"x" * 100)) == FT_TCP
+
+    def test_vlan_tagged_frame(self):
+        frame = bytearray(build_ethernet(FT_TCP))
+        vlan = frame[:12] + b"\x81\x00\x00\x64" + b"\x08\x00" + frame[14:]
+        assert parse_ethernet(bytes(vlan)) == FT_TCP
+
+    def test_checksum_is_valid(self):
+        header = build_ipv4(FT_TCP)[:20]
+        total = sum(
+            struct.unpack(">H", header[i : i + 2])[0] for i in range(0, 20, 2)
+        )
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF  # one's-complement sum checks out
+
+
+class TestParseErrors:
+    def test_short_frame(self):
+        with pytest.raises(ParseError):
+            parse_ethernet(b"\x00" * 5)
+
+    def test_non_ipv4_ethertype(self):
+        frame = bytearray(build_ethernet(FT_TCP))
+        frame[12:14] = b"\x86\xdd"  # IPv6
+        with pytest.raises(ParseError):
+            parse_ethernet(bytes(frame))
+
+    def test_ipv6_version_rejected(self):
+        packet = bytearray(build_ipv4(FT_TCP))
+        packet[0] = 0x65
+        with pytest.raises(ParseError):
+            parse_ipv4(bytes(packet))
+
+    def test_bad_ihl(self):
+        packet = bytearray(build_ipv4(FT_TCP))
+        packet[0] = 0x41  # IHL 4 words < 20 bytes
+        with pytest.raises(ParseError):
+            parse_ipv4(bytes(packet))
+
+    def test_fragment_rejected(self):
+        packet = bytearray(build_ipv4(FT_TCP))
+        packet[6:8] = (5).to_bytes(2, "big")  # fragment offset 5
+        with pytest.raises(ParseError):
+            parse_ipv4(bytes(packet))
+
+    def test_non_l4_protocol(self):
+        packet = bytearray(build_ipv4(FT_TCP))
+        packet[9] = 1  # ICMP
+        with pytest.raises(ParseError):
+            parse_ipv4(bytes(packet))
+
+    def test_truncated_l4(self):
+        packet = build_ipv4(FT_TCP)[:22]
+        with pytest.raises(ParseError):
+            parse_ipv4(packet)
+
+    def test_try_parse_returns_none(self):
+        assert try_parse_ethernet(b"junk") is None
+        assert try_parse_ethernet(build_ethernet(FT_UDP)) == FT_UDP
+
+
+class TestPcapContainer:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        frames = [(1.5, build_ethernet(FT_TCP)), (2.25, build_ethernet(FT_UDP))]
+        assert write_pcap(path, iter(frames)) == 2
+        linktype, packets = read_pcap(path)
+        assert linktype == LINKTYPE_ETHERNET
+        assert len(packets) == 2
+        assert packets[0].data == frames[0][1]
+        assert packets[0].timestamp == pytest.approx(1.5, abs=1e-6)
+        assert packets[1].timestamp == pytest.approx(2.25, abs=1e-6)
+
+    def test_big_endian_and_nanosecond_variants(self, tmp_path):
+        # Hand-craft a big-endian nanosecond capture.
+        path = tmp_path / "be.pcap"
+        frame = build_ipv4(FT_TCP)
+        with open(path, "wb") as fh:
+            fh.write(struct.pack(">IHHiIII", 0xA1B23C4D, 2, 4, 0, 0, 65535,
+                                 LINKTYPE_RAW_IPV4))
+            fh.write(struct.pack(">IIII", 7, 500_000_000, len(frame), len(frame)))
+            fh.write(frame)
+        linktype, packets = read_pcap(path)
+        assert linktype == LINKTYPE_RAW_IPV4
+        assert packets[0].timestamp == pytest.approx(7.5)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.pcap"
+        path.write_bytes(b"\x00" * 40)
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, iter([(0.0, b"\x00" * 60)]))
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+
+class TestTraceFromPcap:
+    def test_capture_to_trace(self, tmp_path):
+        path = tmp_path / "cap.pcap"
+        # 3 packets of flow A, 2 of flow B, one junk frame.
+        frames = (
+            [(float(i), build_ethernet(FT_TCP)) for i in range(3)]
+            + [(float(i), build_ethernet(FT_UDP)) for i in range(2)]
+            + [(9.0, b"\xff" * 20)]
+        )
+        write_pcap(path, iter(frames))
+        trace, skipped = trace_from_pcap(path)
+        assert skipped == 1
+        assert trace.n_flows == 2
+        assert trace.n_packets == 5
+        assert sorted(trace.flow_sizes().tolist()) == [2, 3]
+        assert set(trace.flow_keys.tolist()) == {FT_TCP.key64, FT_UDP.key64}
+
+    def test_replayable(self, tmp_path):
+        from repro.core import make_jet
+        from repro.traces import replay
+
+        path = tmp_path / "cap.pcap"
+        tuples = [
+            FiveTuple.make("10.0.0.1", "10.9.9.9", 1024 + i, 80) for i in range(50)
+        ]
+        frames = [(i * 0.001, build_ethernet(t)) for i, t in enumerate(tuples * 4)]
+        write_pcap(path, iter(frames))
+        trace, _ = trace_from_pcap(path)
+        outcome = replay(trace, make_jet("hrw", ["a", "b", "c"], ["d"]))
+        assert outcome.pcc_violations == 0
+        assert outcome.n_flows == 50
+
+    def test_empty_capture_rejected(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_pcap(path, iter([(0.0, b"\x00" * 30)]))
+        with pytest.raises(ParseError):
+            trace_from_pcap(path)

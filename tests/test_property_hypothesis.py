@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These encode the paper's invariants as universally quantified properties:
+Theorem 4.4's safety condition, consistent-hashing minimal disruption,
+AnchorHash's stack discipline, CT-table model conformance, and the
+stability of the hashing layer.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ch import AnchorHash, HRWHash, JumpHash, RingHash, TableHRWHash
+from repro.ch.anchor import AnchorBuckets
+from repro.ch.jump import jump_bucket
+from repro.ct import LRUCT
+from repro.hashing.mix import MASK64, fmix64, mix2, splitmix64
+from repro.hashing.xxh import xxhash64
+
+keys64 = st.integers(min_value=0, max_value=MASK64)
+small_names = st.integers(min_value=0, max_value=200)
+
+FAMILY_BUILDERS = {
+    "hrw": lambda w, h: HRWHash(w, h),
+    "ring": lambda w, h: RingHash(w, h, virtual_nodes=10),
+    "table": lambda w, h: TableHRWHash(w, h, rows=257),
+    "anchor": lambda w, h: AnchorHash(w, h, capacity=2 * (len(w) + len(h)) + 4),
+}
+
+
+class TestHashingProperties:
+    @given(keys64)
+    def test_fmix64_bounded_and_deterministic(self, x):
+        out = fmix64(x)
+        assert 0 <= out <= MASK64
+        assert out == fmix64(x)
+
+    @given(keys64, keys64)
+    def test_mix2_differs_when_either_side_flips(self, a, b):
+        assert mix2(a, b) == mix2(a, b)
+        assert mix2(a, b ^ 1) != mix2(a, b) or mix2(a ^ 1, b) != mix2(a, b)
+
+    @given(st.binary(max_size=200), st.integers(min_value=0, max_value=MASK64))
+    def test_xxhash64_total_and_bounded(self, data, seed):
+        out = xxhash64(data, seed)
+        assert 0 <= out <= MASK64
+        assert out == xxhash64(data, seed)
+
+    @given(st.binary(min_size=1, max_size=100))
+    def test_xxhash64_sensitive_to_truncation(self, data):
+        assert xxhash64(data) != xxhash64(data[:-1])
+
+    @given(keys64)
+    def test_splitmix_stream_advances(self, x):
+        assert splitmix64(x) != splitmix64(splitmix64(x))
+
+
+class TestCHSafetyProperty:
+    @given(
+        family=st.sampled_from(sorted(FAMILY_BUILDERS)),
+        n_working=st.integers(min_value=2, max_value=12),
+        n_horizon=st.integers(min_value=0, max_value=4),
+        key_sample=st.lists(keys64, min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_safety_flag_matches_union_everywhere(
+        self, family, n_working, n_horizon, key_sample
+    ):
+        working = [f"w{i}" for i in range(n_working)]
+        horizon = [f"h{i}" for i in range(n_horizon)]
+        ch = FAMILY_BUILDERS[family](working, horizon)
+        for k in key_sample:
+            destination, unsafe = ch.lookup_with_safety(k)
+            assert destination in ch.working
+            assert unsafe == (destination != ch.lookup_union(k))
+
+    @given(
+        family=st.sampled_from(sorted(FAMILY_BUILDERS)),
+        n_working=st.integers(min_value=3, max_value=10),
+        victim_index=st.integers(min_value=0, max_value=9),
+        key_sample=st.lists(keys64, min_size=5, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_disruption_on_removal(
+        self, family, n_working, victim_index, key_sample
+    ):
+        working = [f"w{i}" for i in range(n_working)]
+        ch = FAMILY_BUILDERS[family](working, [])
+        victim = working[victim_index % n_working]
+        before = {k: ch.lookup(k) for k in key_sample}
+        ch.remove_working(victim)
+        for k in key_sample:
+            if before[k] != victim:
+                assert ch.lookup(k) == before[k]
+            else:
+                assert ch.lookup(k) != victim
+
+    @given(
+        family=st.sampled_from(sorted(FAMILY_BUILDERS)),
+        n_working=st.integers(min_value=2, max_value=10),
+        key_sample=st.lists(keys64, min_size=5, max_size=40),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_safe_keys_never_move_under_any_admission_order(
+        self, family, n_working, key_sample, seed
+    ):
+        working = [f"w{i}" for i in range(n_working)]
+        horizon = ["h0", "h1", "h2"]
+        ch = FAMILY_BUILDERS[family](working, horizon)
+        safe = {
+            k: ch.lookup(k)
+            for k in key_sample
+            if not ch.lookup_with_safety(k)[1]
+        }
+        order = list(horizon)
+        random.Random(seed).shuffle(order)
+        for server in order:
+            ch.add_working(server)
+            for k, destination in safe.items():
+                assert ch.lookup(k) == destination
+
+
+class TestAnchorStackProperties:
+    @given(
+        ops=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=80),
+        capacity=st.integers(min_value=4, max_value=24),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_stack_A_values_always_consecutive(self, ops, capacity):
+        buckets = AnchorBuckets(capacity, capacity)
+        rng = random.Random(42)
+        for op in ops:
+            if op < 2 and buckets.N > 1:
+                working = [b for b in range(capacity) if buckets.is_working(b)]
+                buckets.remove(rng.choice(working))
+            elif buckets.R:
+                buckets.add()
+            for depth, bucket in enumerate(reversed(buckets.R)):
+                assert buckets.A[bucket] == buckets.N + depth
+
+    @given(
+        key=keys64,
+        removals=st.lists(st.integers(min_value=0, max_value=15), max_size=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_get_always_working_bucket(self, key, removals):
+        buckets = AnchorBuckets(16, 16)
+        for r in removals:
+            if buckets.N > 1 and buckets.is_working(r % 16):
+                buckets.remove(r % 16)
+        assert buckets.is_working(buckets.get(key))
+
+
+class TestJumpProperties:
+    @given(key=keys64, n=st.integers(min_value=1, max_value=64))
+    def test_bucket_in_range(self, key, n):
+        assert 0 <= jump_bucket(key, n) < n
+
+    @given(key=keys64, n=st.integers(min_value=1, max_value=63))
+    def test_growth_moves_only_to_new_bucket(self, key, n):
+        before = jump_bucket(key, n)
+        after = jump_bucket(key, n + 1)
+        assert after == before or after == n
+
+
+class TestLRUModelConformance:
+    """The LRU CT must behave exactly like a reference model."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["put", "get", "delete"]), small_names),
+            max_size=120,
+        ),
+        capacity=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_against_reference_model(self, ops, capacity):
+        from collections import OrderedDict
+
+        ct = LRUCT(capacity)
+        model = OrderedDict()
+        for op, key in ops:
+            if op == "put":
+                if key in model:
+                    model[key] = f"d{key}"
+                    model.move_to_end(key)
+                else:
+                    if len(model) >= capacity:
+                        model.popitem(last=False)
+                    model[key] = f"d{key}"
+                ct.put(key, f"d{key}")
+            elif op == "get":
+                expected = model.get(key)
+                if expected is not None:
+                    model.move_to_end(key)
+                assert ct.get(key) == expected
+            else:
+                expected = key in model
+                model.pop(key, None)
+                assert ct.delete(key) == expected
+            assert len(ct) == len(model)
+            assert set(ct) == set(model)

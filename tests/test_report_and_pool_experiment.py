@@ -1,0 +1,58 @@
+"""Reporting helpers and the §6.2 experiment harness."""
+
+import json
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.lb_pool import run_pool_experiment
+
+
+class TestReport:
+    def test_save_json_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(report, "RESULTS_DIR", tmp_path / "results")
+        path = report.save_json("unit", {"x": [1, 2]})
+        assert path.exists()
+        assert json.loads(path.read_text()) == {"x": [1, 2]}
+
+    def test_save_json_survives_unwritable_dir(self, monkeypatch):
+        monkeypatch.setattr(report, "RESULTS_DIR", type(report.RESULTS_DIR)("/proc/nope"))
+        report.save_json("unit", {"x": 1})  # must not raise
+
+    def test_banner(self):
+        text = report.banner("Title")
+        lines = text.splitlines()
+        assert lines[1] == "Title"
+        assert set(lines[0]) == {"="}
+
+    def test_format_table_handles_mixed_types(self):
+        text = report.format_table(["a"], [[None], [1.23456], ["x"]])
+        assert "1.235" in text
+        assert "None" in text
+
+
+class TestPoolExperimentHarness:
+    def test_small_run_shape(self):
+        rows = run_pool_experiment(
+            n_servers=20, horizon_size=2, pool_size=2, n_packets=30_000, seed=3
+        )
+        by = {(r.mode, r.sync): r for r in rows}
+        assert len(rows) == 4
+        # Unsynced violations identical for JET and full CT (§6.2).
+        assert (
+            by[("jet", False)].pcc_violations
+            == by[("full", False)].pcc_violations
+        )
+        assert by[("jet", True)].pcc_violations == 0
+        assert by[("full", True)].pcc_violations == 0
+        # JET's replicated state is a small fraction of full CT's.
+        assert (
+            by[("jet", True)].synced_entries
+            < 0.3 * by[("full", True)].synced_entries
+        )
+
+    def test_rows_render(self):
+        rows = run_pool_experiment(
+            n_servers=10, horizon_size=1, pool_size=2, n_packets=5_000, seed=4
+        )
+        assert all(len(r.cells()) == 5 for r in rows)

@@ -1,0 +1,112 @@
+"""Workload-generator and horizon-manager tests."""
+
+import pytest
+
+from repro.core import make_jet
+from repro.sim.backend import HorizonManager
+from repro.sim.distributions import Constant, Exponential
+from repro.sim.workload import WorkloadGenerator
+
+W = [f"w{i}" for i in range(12)]
+STANDBY = ["s0", "s1", "s2"]
+
+
+def generator(rate=50.0, seed=0, size=Constant(5), duration=Constant(2.0)):
+    return WorkloadGenerator(rate, size, duration, seed=seed)
+
+
+class TestWorkloadGenerator:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            generator(rate=0)
+
+    def test_arrival_gaps_positive_with_correct_mean(self):
+        g = generator(rate=50.0)
+        gaps = [g.next_arrival_gap() for _ in range(20_000)]
+        assert all(gap >= 0 for gap in gaps)
+        assert sum(gaps) / len(gaps) == pytest.approx(1 / 50.0, rel=0.05)
+
+    def test_flow_packet_schedule(self):
+        g = generator(size=Constant(10), duration=Constant(4.0))
+        flow = g.make_flow(now=100.0)
+        assert flow.size == 10
+        assert len(flow.packet_times) == 10
+        assert flow.packet_times[0] == 100.0
+        assert all(100.0 <= t <= 104.0 for t in flow.packet_times)
+        assert flow.packet_times == sorted(flow.packet_times)
+
+    def test_single_packet_flow(self):
+        g = generator(size=Constant(1))
+        flow = g.make_flow(now=5.0)
+        assert flow.packet_times == [5.0]
+
+    def test_keys_unique_across_flows(self):
+        g = generator()
+        keys = {g.make_flow(i * 0.1).key for i in range(5000)}
+        assert len(keys) == 5000
+
+    def test_seeded_reproducibility(self):
+        a, b = generator(seed=9), generator(seed=9)
+        fa, fb = a.make_flow(1.0), b.make_flow(1.0)
+        assert fa.key == fb.key
+        assert fa.packet_times == fb.packet_times
+
+    def test_flow_ids_sequential(self):
+        g = generator()
+        flows = [g.make_flow(0.0) for _ in range(5)]
+        assert [f.flow_id for f in flows] == list(range(5))
+        assert g.flows_created == 5
+
+
+class TestHorizonManager:
+    def make(self):
+        lb = make_jet("hrw", W, STANDBY)
+        return lb, HorizonManager([lb], STANDBY)
+
+    def test_initial_members(self):
+        _, manager = self.make()
+        assert manager.members == frozenset(STANDBY)
+        assert manager.horizon_size == 3
+
+    def test_removal_enters_horizon_and_evicts_oldest(self):
+        lb, manager = self.make()
+        manager.remove_server(W[0])
+        assert W[0] in manager.members
+        assert "s0" not in manager.members  # oldest standby evicted
+        assert lb.horizon == manager.members
+
+    def test_proper_recovery(self):
+        lb, manager = self.make()
+        manager.remove_server(W[0])
+        assert manager.recover_server(W[0]) is True
+        assert W[0] in lb.working
+        assert manager.proper_additions == 1
+        # Horizon topped back up with the spare standby.
+        assert len(manager.members) == 3
+        assert "s0" in manager.members
+
+    def test_surprise_recovery_after_eviction(self):
+        lb, manager = self.make()
+        for name in W[:4]:  # overflow the 3-slot horizon
+            manager.remove_server(name)
+        assert W[0] not in manager.members  # evicted while down
+        assert manager.recover_server(W[0]) is False
+        assert manager.surprise_additions == 1
+        assert W[0] in lb.working
+
+    def test_lockstep_across_two_balancers(self):
+        jet = make_jet("hrw", W, STANDBY)
+        full = make_jet("hrw", W, STANDBY)
+        manager = HorizonManager([jet, full], STANDBY)
+        manager.remove_server(W[1])
+        manager.remove_server(W[2])
+        manager.recover_server(W[1])
+        assert jet.working == full.working
+        assert jet.horizon == full.horizon
+
+    def test_down_servers_tracked(self):
+        _, manager = self.make()
+        manager.remove_server(W[5])
+        assert manager.down_servers == frozenset({W[5]})
+        manager.recover_server(W[5])
+        assert manager.down_servers == frozenset()

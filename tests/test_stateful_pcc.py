@@ -1,0 +1,109 @@
+"""Stateful property test: PCC holds under arbitrary event interleavings.
+
+A hypothesis rule machine drives a JET load balancer through arbitrary
+sequences of packets and backend events, maintaining the client-side
+ground truth: once a connection's first packet is dispatched, every later
+packet must reach the same server until that server is removed (the
+connection is then inevitably broken and forgotten).
+
+This is the library's strongest end-to-end guarantee: with an unbounded
+CT and all additions arriving via the horizon, *no* interleaving of
+events may break a connection.  Runs against all four paper CH families.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.ch import AnchorHash, HRWHash, RingHash, TableHRWHash
+from repro.ch.base import BackendError
+from repro.core import JETLoadBalancer
+from repro.hashing.mix import splitmix64
+
+FAMILIES = {
+    "hrw": lambda w, h: HRWHash(w, h),
+    "ring": lambda w, h: RingHash(w, h, virtual_nodes=8),
+    "table": lambda w, h: TableHRWHash(w, h, rows=211),
+    "anchor": lambda w, h: AnchorHash(w, h, capacity=64),
+}
+
+
+class JETConsistencyMachine(RuleBasedStateMachine):
+    @initialize(family=st.sampled_from(sorted(FAMILIES)))
+    def setup(self, family):
+        self.working = [f"w{i}" for i in range(8)]
+        self.horizon = [f"h{i}" for i in range(3)]
+        self.lb = JETLoadBalancer(FAMILIES[family](self.working, self.horizon))
+        self.truth = {}
+        self.key_state = 7
+        self.fresh_counter = 0
+
+    # ------------------------------------------------------------ rules
+    @rule()
+    def new_connection(self):
+        self.key_state = splitmix64(self.key_state)
+        key = self.key_state
+        self.truth[key] = self.lb.get_destination(key)
+
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def repeat_packet(self, index):
+        if not self.truth:
+            return
+        keys = sorted(self.truth)
+        key = keys[index % len(keys)]
+        expected = self.truth[key]
+        if expected not in self.lb.working:
+            del self.truth[key]  # inevitably broken; client reconnects
+            return
+        assert self.lb.get_destination(key) == expected
+
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def admit_from_horizon(self, index):
+        horizon = sorted(self.lb.horizon, key=str)
+        if not horizon:
+            return
+        self.lb.add_working_server(horizon[index % len(horizon)])
+
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def remove_working(self, index):
+        working = sorted(self.lb.working, key=str)
+        if len(working) <= 2:
+            return
+        victim = working[index % len(working)]
+        self.lb.remove_working_server(victim)
+        # Victim's connections are inevitably broken.
+        for key in [k for k, d in self.truth.items() if d == victim]:
+            del self.truth[key]
+
+    @rule()
+    def announce_new_horizon_server(self):
+        self.fresh_counter += 1
+        try:
+            self.lb.add_horizon_server(f"fresh-{self.fresh_counter}")
+        except BackendError:
+            pass  # anchor capacity bound: acceptable refusal
+
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def retire_horizon_server(self, index):
+        horizon = sorted(self.lb.horizon, key=str)
+        if not horizon:
+            return
+        self.lb.remove_horizon_server(horizon[index % len(horizon)])
+
+    # -------------------------------------------------------- invariant
+    @invariant()
+    def all_live_connections_consistent(self):
+        if not hasattr(self, "lb"):
+            return
+        working = self.lb.working
+        for key, expected in list(self.truth.items()):
+            if expected not in working:
+                del self.truth[key]
+                continue
+            assert self.lb.get_destination(key) == expected
+
+
+TestJETConsistency = JETConsistencyMachine.TestCase
+TestJETConsistency.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
