@@ -9,6 +9,7 @@ unsafe minority.
 """
 
 from benchmarks.reporting import record
+from repro.ct import make_ct
 from repro.experiments.report import format_table
 from repro.experiments.scales import base_config, scale_name
 from repro.sim.scenario import run_simulation
@@ -67,6 +68,33 @@ def test_ct_ttl_ablation(once):
         assert ttl.peak_tracked < unbounded.peak_tracked, mode
         # A TCP-timeout-scale TTL must not break live connections.
         assert ttl.pcc_violations <= unbounded.pcc_violations + 2, mode
+
+
+def test_ct_items_fast_path():
+    """Every CT's items() must agree with the peek() loop it replaces
+    (invalidate_destination correctness), and the dict-backed tables must
+    serve it without per-key peek() calls."""
+    tables = {
+        "unbounded": make_ct(None, "lru"),
+        "lru": make_ct(64, "lru"),
+        "fifo": make_ct(64, "fifo"),
+        "random": make_ct(64, "random", seed=1),
+        "ttl": make_ct(None, "ttl", ttl=1e9),
+    }
+    for name, ct in tables.items():
+        for key in range(40):
+            ct.put(key, f"s{key % 7}")
+        via_items = sorted(ct.items())
+        via_peek = sorted((key, ct.peek(key)) for key in ct)
+        assert via_items == via_peek, name
+        calls = []
+        original_peek = ct.peek
+        ct.peek = lambda key: (calls.append(key), original_peek(key))[1]
+        list(ct.items())
+        ct.peek = original_peek
+        assert not calls, f"{name}: items() fell back to peek()"
+        ct.invalidate_destination("s3")
+        assert all(dest != "s3" for _, dest in ct.items()), name
 
 
 def test_ct_eviction_policy_ablation(once):

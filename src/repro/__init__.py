@@ -22,6 +22,8 @@ Package map:
 - :mod:`repro.traces`    -- synthetic traces + replay (Sections 5.2-5.3)
 - :mod:`repro.analysis`  -- balance/statistics helpers
 - :mod:`repro.experiments` -- every table and figure, runnable
+- :mod:`repro.faults`    -- deterministic fault injection: chaos
+  schedules, health probation, fallible CT sync channels
 """
 
 from repro.core import (
@@ -52,6 +54,14 @@ from repro.ch import (
     WeightedRingHash,
 )
 from repro.ct import FIFOCT, LRUCT, RandomEvictCT, TTLCT, UnboundedCT, make_ct
+from repro.faults import (
+    ChaosInjector,
+    FaultEvent,
+    FaultSchedule,
+    HealthMonitor,
+    SyncChannel,
+    chaos_mix,
+)
 from repro.hashing.keyed import hash_key
 from repro.net import FiveTuple, FiveTuple6, Packet
 from repro.sim import SimulationConfig, run_simulation

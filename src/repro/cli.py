@@ -28,7 +28,9 @@ from repro.sim.distributions import LogNormal
 
 
 def _experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import extensions, fig3, fig4, fig5, fig6, fig7, lb_pool, table12, theory
+    from repro.experiments import (
+        extensions, fig3, fig4, fig5, fig6, fig7, lb_pool, resilience, table12, theory,
+    )
 
     runners = {
         "fig3": lambda: fig3.main(args.scale),
@@ -41,6 +43,7 @@ def _experiment(args: argparse.Namespace) -> int:
         "theory": theory.main,
         "extensions": extensions.main,
         "lbpool": lb_pool.main,
+        "resilience": lambda: resilience.main(args.scale, seed=args.seed),
     }
     names = list(runners) if args.name == "all" else [args.name]
     for name in names:
@@ -51,6 +54,22 @@ def _experiment(args: argparse.Namespace) -> int:
 def _simulate(args: argparse.Namespace) -> int:
     from repro.sim.scenario import SimulationConfig, run_simulation
 
+    fault_schedule = None
+    if any(
+        rate > 0
+        for rate in (args.crash_rate, args.flap_rate, args.group_rate, args.unannounced_rate)
+    ):
+        from repro.faults import FaultSchedule
+
+        fault_schedule = FaultSchedule.generate(
+            args.duration,
+            seed=args.seed,
+            crash_rate_per_min=args.crash_rate,
+            flap_rate_per_min=args.flap_rate,
+            group_rate_per_min=args.group_rate,
+            unannounced_rate_per_min=args.unannounced_rate,
+            group_size=args.group_size,
+        )
     config = SimulationConfig(
         duration_s=args.duration,
         connection_rate=args.rate,
@@ -64,6 +83,8 @@ def _simulate(args: argparse.Namespace) -> int:
         ch_family=args.family,
         seed=args.seed,
         downtime_dist=LogNormal(median=args.downtime, sigma=0.8),
+        fault_schedule=fault_schedule,
+        probation_base_s=args.probation_base,
     )
     result = run_simulation(config)
     print(result.summary())
@@ -132,10 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=[
             "fig3", "fig4", "fig5", "fig6", "fig7",
-            "table1", "table2", "theory", "extensions", "lbpool", "all",
+            "table1", "table2", "theory", "extensions", "lbpool",
+            "resilience", "all",
         ],
     )
     exp.add_argument("--scale", choices=["smoke", "default", "paper"], default=None)
+    exp.add_argument("--seed", type=int, default=0,
+                     help="chaos seed (resilience experiment)")
     exp.set_defaults(func=_experiment)
 
     sim = sub.add_parser("simulate", help="run one event-driven simulation")
@@ -155,6 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--ct-policy", choices=["lru", "fifo", "random", "ttl"], default="lru")
     sim.add_argument("--ct-ttl", type=float, default=None)
     sim.add_argument("--seed", type=int, default=0)
+    # Chaos knobs (repro.faults) -- all default off.
+    sim.add_argument("--crash-rate", type=float, default=0.0,
+                     help="chaos crashes per minute")
+    sim.add_argument("--flap-rate", type=float, default=0.0,
+                     help="flap storms per minute")
+    sim.add_argument("--group-rate", type=float, default=0.0,
+                     help="correlated-group failures per minute")
+    sim.add_argument("--group-size", type=int, default=3,
+                     help="servers lost per correlated failure")
+    sim.add_argument("--unannounced-rate", type=float, default=0.0,
+                     help="unannounced (horizon-bypassing) additions per minute")
+    sim.add_argument("--probation-base", type=float, default=1.0,
+                     help="base probation backoff for repeat failures (s)")
     sim.set_defaults(func=_simulate)
 
     trace = sub.add_parser("trace", help="generate / inspect / replay traces")

@@ -1,4 +1,4 @@
-"""LB pools -- the Section 6.2 multi-balancer deployment model.
+"""LB pools -- the Section 6.2 multi-balancer deployment model, hardened.
 
 Datacenters run many LB instances behind ECMP: the router hashes each
 packet's flow onto one of the live LBs.  Connection-tracking state is
@@ -8,13 +8,26 @@ connection breaks iff the current ``CH(W, k)`` disagrees with its true
 destination and the new LB has no CT entry for it -- Section 6.2's
 observation, true for full CT and JET alike.
 
-Two mitigations are modeled:
+Synchronization is a pluggable **channel** rather than a boolean:
 
-- **none** -- independent CTs (the default, and the §6.2 failure mode);
-- **sync** -- every CT insert is replicated to all pool members.  "If
+- ``sync=False`` -- independent CTs (the §6.2 failure mode);
+- ``sync=True``  -- a perfect :class:`~repro.faults.channel.SyncChannel`
+  (lossless, instantaneous), the paper's idealised replication.  "If
   synchronization is employed, JET's smaller CT size means that a smaller
-  state needs to be synchronized": the pool counts replicated entries so
-  experiments can quantify exactly that.
+  state needs to be synchronized": the channel counts replicated entries
+  so experiments can quantify exactly that;
+- ``sync=SyncChannel(loss_probability=..., lag_lookups=...)`` -- a lossy,
+  lagging channel with bounded retry + backoff.  Entries that exhaust
+  their retries are counted (``channel.stats.unreplicated``) and the pool
+  reports itself **degraded**.
+
+Beyond graceful scale-in (:meth:`remove_lb`), members can **crash**
+(:meth:`crash_lb`: abrupt, ECMP re-steers, the member's CT entries are
+lost and counted) or **partition** (:meth:`partition_lb`: the member
+keeps serving its ECMP slice but misses backend broadcasts and sync
+traffic).  A healed member replays the suffix of the backend event log
+it missed (:meth:`heal_lb`), so pool members converge on (W, H) again --
+late joiners via :meth:`add_lb` replay the whole log.
 
 ECMP steering is hash-mod-n over the live LB list (the common router
 behaviour, deliberately *not* consistent: that is what makes pool changes
@@ -23,12 +36,17 @@ disruptive).
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, List
+from typing import Callable, FrozenSet, List, Optional, Union
 
 from repro.core.interfaces import LoadBalancer, Name
+from repro.faults.channel import SyncChannel
 from repro.hashing.mix import fmix64
 
 BalancerFactory = Callable[[], LoadBalancer]
+
+#: Attribute stamped on members to record how much of the pool's backend
+#: event log they have applied (partitioned members fall behind).
+_LOG_ATTR = "_pool_log_index"
 
 
 class LBPool(LoadBalancer):
@@ -38,19 +56,30 @@ class LBPool(LoadBalancer):
         self,
         factory: BalancerFactory,
         size: int,
-        sync: bool = False,
+        sync: Union[bool, SyncChannel] = False,
     ):
         if size < 1:
             raise ValueError("pool needs at least one LB instance")
         self._factory = factory
-        self.sync = sync
+        if isinstance(sync, SyncChannel):
+            self.channel: Optional[SyncChannel] = sync
+        elif sync:
+            self.channel = SyncChannel()  # perfect: lossless, instantaneous
+        else:
+            self.channel = None
         self.members: List[LoadBalancer] = [factory() for _ in range(size)]
-        #: CT entries replicated between members (the §6.2 sync cost).
-        self.synced_entries = 0
-        # Backend changes applied so far; replayed onto late-joining LBs so
-        # every member agrees on (W, H) -- the paper's standing assumption
-        # that all LBs see the same backend state.
+        #: CT entries lost with crashed/removed members.
+        self.lost_entries = 0
+        #: Abrupt member failures observed (vs. graceful scale-in).
+        self.crashes = 0
+        # Backend changes applied so far; members that missed a suffix
+        # (late joiners, healed partitions) replay from their own offset so
+        # every member converges on the same (W, H) -- the paper's standing
+        # assumption that all LBs see the same backend state.
         self._event_log: List[tuple] = []
+        self._partitioned: List[LoadBalancer] = []
+        for member in self.members:
+            setattr(member, _LOG_ATTR, 0)
 
     # ------------------------------------------------------------ steer
     def _steer(self, key_hash: int) -> LoadBalancer:
@@ -60,46 +89,123 @@ class LBPool(LoadBalancer):
     # ----------------------------------------------------------- packet
     def get_destination(self, key_hash: int) -> Name:
         member = self._steer(key_hash)
-        before = member.tracked_connections
+        if self.channel is not None:
+            self.channel.on_lookup()
+        ct = getattr(member, "ct", None)
+        if self.channel is None or ct is None:
+            return member.get_destination(key_hash)
+        # Detect a fresh insert by the inserts counter, not the table size:
+        # in a bounded CT an insert can coincide with an eviction, leaving
+        # the size unchanged and (previously) the entry never replicated.
+        inserts_before = ct.stats.inserts
         destination = member.get_destination(key_hash)
-        if self.sync and member.tracked_connections > before:
-            # The member just started tracking this connection; replicate.
-            for other in self.members:
-                if other is not member:
-                    other.ct.put(key_hash, destination)
-                    self.synced_entries += 1
+        if ct.stats.inserts > inserts_before:
+            self.channel.replicate(key_hash, destination, self._sync_targets(member))
         return destination
+
+    def _sync_targets(self, origin: LoadBalancer) -> List[LoadBalancer]:
+        return [
+            m
+            for m in self.members
+            if m is not origin and m not in self._partitioned and hasattr(m, "ct")
+        ]
 
     # ----------------------------------------------------- pool changes
     def add_lb(self) -> LoadBalancer:
         """Grow the pool.  ECMP re-steers ~all flows (mod-n!); without
         sync, flows landing on the new LB lose their CT protection."""
         member = self._factory()
-        for method, name in self._event_log:
-            getattr(member, method)(name)
-        if self.sync and self.members:
+        self._replay_log(member, 0)
+        if self.channel is not None and self.members:
             donor = self.members[0]
-            for key in donor.ct:
-                member.ct.put(key, donor.ct.peek(key))
-                self.synced_entries += 1
+            donor_ct = getattr(donor, "ct", None)
+            member_ct = getattr(member, "ct", None)
+            if donor_ct is not None and member_ct is not None:
+                for key, destination in donor_ct.items():
+                    self.channel.replicate(key, destination, (member,))
         self.members.append(member)
         return member
 
-    def remove_lb(self, index: int = -1) -> None:
-        """Shrink the pool (LB failure or scale-in)."""
+    def _validate_index(self, index: int) -> int:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise ValueError(f"member index must be an int, got {index!r}")
+        size = len(self.members)
+        if not -size <= index < size:
+            raise ValueError(f"member index {index} out of range for pool of {size}")
+        return index % size
+
+    def remove_lb(self, index: int = -1) -> int:
+        """Shrink the pool (scale-in).  Returns the number of CT entries
+        that left with the member (its un-replicated tracking state)."""
         if len(self.members) <= 1:
             raise ValueError("cannot remove the last LB instance")
-        self.members.pop(index)
+        position = self._validate_index(index)
+        member = self.members.pop(position)
+        if member in self._partitioned:
+            self._partitioned.remove(member)
+        if self.channel is not None:
+            self.channel.forget_target(member)
+        lost = member.tracked_connections
+        self.lost_entries += lost
+        return lost
+
+    def crash_lb(self, index: int = -1) -> int:
+        """Abrupt member failure: like :meth:`remove_lb` (ECMP re-steers
+        the slice immediately) but counted as a crash."""
+        lost = self.remove_lb(index)
+        self.crashes += 1
+        return lost
+
+    # ------------------------------------------------------- partitions
+    def partition_lb(self, index: int) -> LoadBalancer:
+        """Partition a member from the control plane: it keeps serving its
+        ECMP slice with a stale view, but misses broadcasts and sync."""
+        member = self.members[self._validate_index(index)]
+        if member not in self._partitioned:
+            self._partitioned.append(member)
+            if self.channel is not None:
+                self.channel.forget_target(member)
+        return member
+
+    def heal_lb(self, index: int) -> int:
+        """Heal a partitioned member: replay the backend events it missed
+        so it converges on the pool's (W, H).  Returns the replay length."""
+        member = self.members[self._validate_index(index)]
+        if member not in self._partitioned:
+            return 0
+        self._partitioned.remove(member)
+        return self._replay_log(member, getattr(member, _LOG_ATTR, 0))
+
+    def _replay_log(self, member: LoadBalancer, start: int) -> int:
+        for method, name in self._event_log[start:]:
+            getattr(member, method)(name)
+        setattr(member, _LOG_ATTR, len(self._event_log))
+        return len(self._event_log) - start
 
     @property
     def size(self) -> int:
         return len(self.members)
 
+    @property
+    def partitioned(self) -> int:
+        return len(self._partitioned)
+
+    @property
+    def degraded(self) -> bool:
+        """True when pool state is known-incomplete: partitioned members
+        are serving stale views, or the sync channel abandoned entries."""
+        if self._partitioned:
+            return True
+        return self.channel is not None and self.channel.degraded
+
     # ------------------------------------------------- backend changes
     def _broadcast(self, method: str, name: Name) -> None:
-        for member in self.members:
-            getattr(member, method)(name)
         self._event_log.append((method, name))
+        for member in self.members:
+            if member in self._partitioned:
+                continue
+            getattr(member, method)(name)
+            setattr(member, _LOG_ATTR, len(self._event_log))
 
     def add_working_server(self, name: Name) -> None:
         self._broadcast("add_working_server", name)
@@ -118,7 +224,21 @@ class LBPool(LoadBalancer):
 
     # ------------------------------------------------------------ state
     @property
+    def sync(self) -> bool:
+        """Whether CT synchronization is enabled (any channel)."""
+        return self.channel is not None
+
+    @property
+    def synced_entries(self) -> int:
+        """CT entries replicated between members (the §6.2 sync cost)."""
+        return self.channel.stats.delivered if self.channel is not None else 0
+
+    @property
     def working(self) -> FrozenSet[Name]:
+        # A partitioned member's view may be stale; report a live one's.
+        for member in self.members:
+            if member not in self._partitioned:
+                return member.working
         return self.members[0].working
 
     @property

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Hashable, Iterator, Optional
+from typing import Hashable, Iterator, Optional, Tuple
 
 Destination = Hashable
 
@@ -68,15 +68,27 @@ class ConnectionTracker(ABC):
     def __iter__(self) -> Iterator[int]:
         """Iterate over tracked keys (no particular order guaranteed)."""
 
+    def items(self) -> Iterator[Tuple[int, Destination]]:
+        """Iterate ``(key, destination)`` pairs without touching stats or
+        recency state.
+
+        The default composes :meth:`__iter__` with :meth:`peek` (one
+        method call per entry); dict-backed tables override it with a
+        single table scan, which is what makes active cleanup cheap.
+        """
+        for key in self:
+            yield key, self.peek(key)
+
     def invalidate_destination(self, destination: Destination) -> int:
         """Drop every entry pointing at ``destination``.
 
         Footnote 3 of the paper: when a working server is removed, all of
         its connections are inevitably broken and the table "can be cleaned
         from such connections (in an active or a lazy manner)".  This is the
-        active variant; returns the number of entries dropped.
+        active variant -- one :meth:`items` scan; returns the number of
+        entries dropped.
         """
-        victims = [key for key in self if self.peek(key) == destination]
+        victims = [key for key, dest in self.items() if dest == destination]
         for key in victims:
             self.delete(key)
         self.stats.invalidations += len(victims)

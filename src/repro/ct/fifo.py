@@ -9,7 +9,7 @@ PCC under memory pressure.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.ct.base import ConnectionTracker, Destination
 
@@ -53,3 +53,6 @@ class FIFOCT(ConnectionTracker):
 
     def __iter__(self) -> Iterator[int]:
         return iter(list(self._table))
+
+    def items(self) -> Iterator[Tuple[int, Destination]]:
+        return iter(list(self._table.items()))

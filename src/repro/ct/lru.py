@@ -11,7 +11,7 @@ Fig. 3 when the table is undersized.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.ct.base import ConnectionTracker, Destination
 
@@ -57,3 +57,7 @@ class LRUCT(ConnectionTracker):
 
     def __iter__(self) -> Iterator[int]:
         return iter(list(self._table))
+
+    def items(self) -> Iterator[Tuple[int, Destination]]:
+        """Single dict scan; does not disturb LRU recency order."""
+        return iter(list(self._table.items()))

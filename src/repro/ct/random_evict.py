@@ -11,7 +11,7 @@ runs stay reproducible.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.ct.base import ConnectionTracker, Destination
 
@@ -76,3 +76,6 @@ class RandomEvictCT(ConnectionTracker):
 
     def __iter__(self) -> Iterator[int]:
         return iter(list(self._keys))
+
+    def items(self) -> Iterator[Tuple[int, Destination]]:
+        return iter(list(self._table.items()))

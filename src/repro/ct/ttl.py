@@ -126,3 +126,7 @@ class TTLCT(ConnectionTracker):
     def __iter__(self) -> Iterator[int]:
         self._reap(self.clock())
         return iter(list(self._table))
+
+    def items(self) -> Iterator[Tuple[int, Destination]]:
+        self._reap(self.clock())
+        return iter([(k, d) for k, (d, _) in self._table.items()])

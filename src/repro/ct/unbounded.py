@@ -7,7 +7,7 @@ volume from eviction effects.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.ct.base import ConnectionTracker, Destination
 
@@ -43,3 +43,6 @@ class UnboundedCT(ConnectionTracker):
 
     def __iter__(self) -> Iterator[int]:
         return iter(list(self._table))
+
+    def items(self) -> Iterator[Tuple[int, Destination]]:
+        return iter(list(self._table.items()))

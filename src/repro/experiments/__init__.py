@@ -15,6 +15,9 @@ Module             Paper artifact
 ``table12``        Tables 1-2 (UNI1-like, NY18-like traces)
 ``theory``         Theorems 4.2-4.4, Prop. 4.1, Property 1, §2.4
 ``extensions``     §6.1 batch changes, §6.3 load-aware JET
+``lb_pool``        §6.2 LB pools behind ECMP, CT sync economy
+``resilience``     beyond-paper: PCC under chaos (repro.faults),
+                   §2.3 contract check, tracking under churn
 =================  ==========================================
 """
 

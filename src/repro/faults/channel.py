@@ -1,0 +1,150 @@
+"""Fallible CT-synchronization channels for LB pools.
+
+Section 6.2 assumes CT synchronization either doesn't exist or is
+perfect and instantaneous.  Real replication (Charon-style UDP gossip,
+Katran's map sync) is neither: messages are lost, and delivery lags the
+insert by some number of dispatched packets.  :class:`SyncChannel` models
+both, deterministically:
+
+- **loss** -- each delivery attempt independently fails with
+  ``loss_probability`` (seeded RNG, so runs are reproducible);
+- **lag** -- a successful attempt applies at the peer only after
+  ``lag_lookups`` further pool lookups (replication lag measured in
+  lookups, the natural clock of a trace replay);
+- **bounded retry with backoff** -- a lost attempt is re-queued after
+  ``backoff_lookups`` lookups, doubling per attempt, up to
+  ``max_retries``; an entry that exhausts its retries is counted in
+  ``stats.unreplicated`` and the channel reports itself **degraded**.
+
+``SyncChannel()`` with default arguments is a perfect channel -- lossless
+and instantaneous -- which reproduces the seed ``sync=True`` behaviour
+bit-for-bit, so :class:`~repro.core.lb_pool.LBPool` uses it as the
+``sync=True`` implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hashing.mix import splitmix64
+
+
+@dataclass
+class SyncStats:
+    """Replication-channel counters (the §6.2 sync bill, itemised)."""
+
+    offered: int = 0          # (entry, peer) replications requested
+    attempted: int = 0        # delivery attempts, including retries
+    delivered: int = 0        # entries applied at a peer
+    lost_attempts: int = 0    # attempts the channel dropped
+    retries: int = 0          # re-queued attempts
+    unreplicated: int = 0     # entries abandoned after max_retries
+    dropped_targets: int = 0  # pending entries voided by peer crash/partition
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.offered if self.offered else 1.0
+
+
+class SyncChannel:
+    """A pluggable, fallible CT replication channel."""
+
+    def __init__(
+        self,
+        loss_probability: float = 0.0,
+        lag_lookups: int = 0,
+        max_retries: int = 3,
+        backoff_lookups: int = 8,
+        seed: int = 0,
+    ):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if lag_lookups < 0 or max_retries < 0 or backoff_lookups < 1:
+            raise ValueError("lag_lookups/max_retries >= 0, backoff_lookups >= 1")
+        self.loss_probability = loss_probability
+        self.lag_lookups = lag_lookups
+        self.max_retries = max_retries
+        self.backoff_lookups = backoff_lookups
+        self.stats = SyncStats()
+        self._rng = random.Random(splitmix64(seed ^ 0x5C4A_77E1))
+        self._lookups = 0
+        self._seq = 0
+        # Pending deliveries: (due_lookup, seq, attempt, key, destination, target).
+        self._pending: List[Tuple[int, int, int, int, object, object]] = []
+        self._perfect = loss_probability == 0.0 and lag_lookups == 0
+
+    # ------------------------------------------------------------ sending
+    def replicate(self, key: int, destination, targets) -> None:
+        """Offer one CT entry to every peer in ``targets``."""
+        for target in targets:
+            self.stats.offered += 1
+            if self._perfect:
+                self.stats.attempted += 1
+                target.ct.put(key, destination)
+                self.stats.delivered += 1
+            else:
+                self._enqueue(self._lookups + self.lag_lookups, 1, key, destination, target)
+
+    def _enqueue(self, due: int, attempt: int, key: int, destination, target) -> None:
+        self._seq += 1
+        heapq.heappush(self._pending, (due, self._seq, attempt, key, destination, target))
+
+    # ----------------------------------------------------------- delivery
+    def on_lookup(self) -> None:
+        """Advance the channel clock by one pool lookup; flush due entries."""
+        self._lookups += 1
+        self._flush(self._lookups)
+
+    def _flush(self, now: int) -> None:
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            _, _, attempt, key, destination, target = heapq.heappop(pending)
+            self._attempt(now, attempt, key, destination, target)
+
+    def _attempt(self, now: int, attempt: int, key: int, destination, target) -> None:
+        self.stats.attempted += 1
+        if self._rng.random() < self.loss_probability:
+            self.stats.lost_attempts += 1
+            if attempt > self.max_retries:
+                self.stats.unreplicated += 1
+                return
+            self.stats.retries += 1
+            backoff = self.backoff_lookups * (1 << (attempt - 1))
+            self._enqueue(now + backoff, attempt + 1, key, destination, target)
+            return
+        target.ct.put(key, destination)
+        self.stats.delivered += 1
+
+    def drain(self) -> None:
+        """Force every pending delivery through now (end-of-run settle).
+
+        Loss still applies per attempt, but backoff collapses to
+        immediate, so each entry resolves to delivered or unreplicated.
+        """
+        while self._pending:
+            self._lookups = max(self._lookups, self._pending[0][0])
+            self._flush(self._lookups)
+
+    # ---------------------------------------------------------- topology
+    def forget_target(self, target) -> int:
+        """Void pending deliveries to a crashed/partitioned peer."""
+        kept = [p for p in self._pending if p[5] is not target]
+        dropped = len(self._pending) - len(kept)
+        if dropped:
+            heapq.heapify(kept)
+            self._pending = kept
+            self.stats.dropped_targets += dropped
+        return dropped
+
+    # ------------------------------------------------------------- state
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def degraded(self) -> bool:
+        """True once any entry was abandoned (un-replicated state exists)."""
+        return self.stats.unreplicated > 0

@@ -1,0 +1,122 @@
+"""ChaosInjector -- binds a fault schedule to the event-driven simulator.
+
+The injector owns the *semantics* of each fault kind; the simulation
+engine only dispatches.  All victim choices draw from the engine's RNG
+stream, so a chaos run is exactly as reproducible as a plain one, and a
+schedule with zero events leaves the engine's event sequence (and RNG
+stream) byte-identical to a no-injector run.
+
+Fault semantics, and the paper assumption each one violates:
+
+- ``crash``: like a §5 removal, but readmission adds the
+  :class:`~repro.faults.health.HealthMonitor`'s probation delay on top
+  of the sampled downtime (violates *instant recovery*; honours the
+  horizon contract).
+- ``flap``: a crash whose recovery is near-immediate, repeated
+  ``flap_count`` times.  Without probation this thrashes ``W``; with it,
+  each cycle doubles the wait (violates the assumption that churn is
+  slower than the horizon turnover).
+- ``group``: ``group_size`` distinct servers crash at the same instant
+  (violates *one change at a time*, §6.1's motivation).
+- ``unannounced_add``: a brand-new identity enters ``W`` via
+  ``force_add_working_server`` without ever appearing in ``H`` (violates
+  the §2.3 known-horizon contract; the connections it re-steers were
+  never tracked, so the paper *predicts* their breakage -- the injector
+  records that prediction for the resilience experiment to check).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.events import CRASH, FLAP, GROUP, UNANNOUNCED_ADD, FaultEvent, FaultSchedule
+from repro.faults.health import HealthMonitor
+
+
+class ChaosInjector:
+    """Applies :class:`FaultSchedule` events to a running simulation."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        health: Optional[HealthMonitor] = None,
+        fault_window_s: float = 10.0,
+    ):
+        self.schedule = schedule
+        self.health = health
+        #: A PCC violation within this window after any fault is
+        #: attributed to the fault (``violations_under_fault``).
+        self.fault_window_s = fault_window_s
+        self._chaos_births = 0
+
+    # ------------------------------------------------------------ priming
+    def prime(self, sim) -> None:
+        """Push every scheduled fault into the engine's event heap."""
+        for event in self.schedule:
+            if event.time <= sim.duration_s:
+                sim.push_fault(event.time, event)
+
+    # ----------------------------------------------------------- dispatch
+    def apply(self, sim, event: FaultEvent, now: float) -> None:
+        handler = {
+            CRASH: self._crash,
+            FLAP: self._flap,
+            GROUP: self._group,
+            UNANNOUNCED_ADD: self._unannounced_add,
+        }[event.kind]
+        applied = handler(sim, event, now)
+        if applied:
+            sim.result.fault_events += 1
+            sim.note_fault(now)
+
+    # ----------------------------------------------------------- handlers
+    def _crash(self, sim, event: FaultEvent, now: float) -> bool:
+        victim = event.target if event.target in sim.up_index else sim.pick_up_server()
+        if victim is None:
+            return False
+        sim.crash_server(victim, now)
+        sim.result.crashes += 1
+        return True
+
+    def _flap(self, sim, event: FaultEvent, now: float) -> bool:
+        victim = event.target
+        if victim is not None and victim not in sim.up_index:
+            # Still down (probation damped the flap): drop this cycle.
+            return False
+        if victim is None:
+            victim = sim.pick_up_server()
+            if victim is None:
+                return False
+        recovery_at = sim.crash_server(victim, now, downtime=event.flap_interval)
+        sim.result.flaps += 1
+        if event.flap_count > 1:
+            sim.push_fault(
+                recovery_at + event.flap_interval,
+                FaultEvent(
+                    time=recovery_at + event.flap_interval,
+                    kind=FLAP,
+                    target=victim,
+                    flap_count=event.flap_count - 1,
+                    flap_interval=event.flap_interval,
+                ),
+            )
+        return True
+
+    def _group(self, sim, event: FaultEvent, now: float) -> bool:
+        crashed = 0
+        for _ in range(max(event.group_size, 1)):
+            victim = sim.pick_up_server()
+            if victim is None:
+                break
+            sim.crash_server(victim, now)
+            crashed += 1
+        if crashed:
+            sim.result.correlated_failures += 1
+            sim.result.crashes += crashed
+        return crashed > 0
+
+    def _unannounced_add(self, sim, event: FaultEvent, now: float) -> bool:
+        self._chaos_births += 1
+        name = f"chaos{self._chaos_births}"
+        sim.admit_unannounced(name, now)
+        return True

@@ -12,6 +12,13 @@ the destination of its first packet; a later packet dispatched elsewhere is
 a PCC violation (counted once per connection, after which the client is
 assumed to reset the connection); connections whose destination is removed
 are *inevitably broken* and excluded from the violation count.
+
+Adversarial churn is layered on top via :mod:`repro.faults`: a
+:class:`~repro.faults.injector.ChaosInjector` schedules crash / flap /
+correlated-group / unannounced-addition events as a seventh event kind,
+and a :class:`~repro.faults.health.HealthMonitor` adds probation delay to
+readmissions.  With no injector the event sequence and RNG stream are
+byte-identical to the seed engine.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ _FLOW_END = 2
 _REMOVAL = 3
 _RECOVERY = 4
 _SAMPLE = 5
+_FAULT = 6
 
 
 class EventDrivenSimulation:
@@ -53,8 +61,10 @@ class EventDrivenSimulation:
         seed: int = 0,
         sample_interval: float = 1.0,
         warmup_s: Optional[float] = None,
+        injector=None,
     ):
         self.lb = balancer
+        self.injector = injector
         self.workload = workload
         self.duration_s = duration_s
         self.sample_interval = sample_interval
@@ -75,6 +85,13 @@ class EventDrivenSimulation:
         self._load = LoadTracker()
         self._flows_by_server: Dict[Name, Set[Flow]] = {}
         self.result = SimResult()
+
+        # Fault attribution: violations within the injector's window after
+        # any chaos event count as violations-under-fault.
+        self._now = 0.0
+        self._last_fault_time = float("-inf")
+        self._fault_window = injector.fault_window_s if injector is not None else 0.0
+        self._probated: Set[Name] = set()
 
         # TTL-based CT tables carry a simulated clock we must advance.
         from repro.ct.ttl import Clock as _SimClock
@@ -103,6 +120,61 @@ class EventDrivenSimulation:
         self._up_index[name] = len(self._up)
         self._up.append(name)
 
+    # ------------------------------------------------- injector interface
+    @property
+    def up_index(self) -> Dict[Name, int]:
+        """Live-server membership view (read-only use by the injector)."""
+        return self._up_index
+
+    def pick_up_server(self) -> Optional[Name]:
+        return self._pick_up_server()
+
+    def push_fault(self, when: float, event) -> None:
+        self._push(when, _FAULT, event)
+
+    def note_fault(self, now: float) -> None:
+        self._last_fault_time = now
+
+    def crash_server(self, name: Name, now: float, downtime: Optional[float] = None) -> float:
+        """Take ``name`` down immediately; returns the scheduled recovery
+        time (downtime, or the given override, plus any probation delay)."""
+        self._mark_down(name)
+        self.result.removals += 1
+        # Connections to the victim are inevitably broken (Section 2.1).
+        doomed = self._flows_by_server.pop(name, set())
+        for flow in doomed:
+            flow.broken = True
+            flow.inevitable = True
+            self._load.flow_ended(name)
+        self.result.inevitably_broken += len(doomed)
+        self.manager.remove_server(name)
+        if downtime is None:
+            downtime = self.downtime_dist.sample(self._rng)
+        delay = 0.0
+        health = self.injector.health if self.injector is not None else None
+        if health is not None:
+            delay = health.record_failure(name, now)
+            if delay > 0:
+                self._probated.add(name)
+        recovery_at = now + downtime + delay
+        self._push(recovery_at, _RECOVERY, name)
+        return recovery_at
+
+    def admit_unannounced(self, name: Name, now: float) -> None:
+        """A never-announced server joins ``W`` (§2.3 contract violation).
+
+        Records the paper's breakage prediction at this instant: under a
+        consistent hash, each active connection re-steers onto the new
+        server with probability ``1/(|W|+1)``, and none of the re-steered
+        ones was tracked (the server was never in ``H``)."""
+        self.result.predicted_unannounced_breakage += self._load.active_flows / (
+            len(self._up) + 1
+        )
+        self.lb.force_add_working_server(name)
+        self._mark_up(name)
+        self.result.unannounced_additions += 1
+        self.result.additions += 1
+
     # ------------------------------------------------------------- run
     def run(self) -> SimResult:
         started = _time.perf_counter()
@@ -110,6 +182,8 @@ class EventDrivenSimulation:
         if self._removal_rate > 0:
             self._push(self._rng.expovariate(self._removal_rate), _REMOVAL)
         self._push(self.sample_interval, _SAMPLE)
+        if self.injector is not None:
+            self.injector.prime(self)
 
         heap = self._heap
         sim_clock = self._sim_clock
@@ -117,6 +191,7 @@ class EventDrivenSimulation:
             when, _, kind, payload = heapq.heappop(heap)
             if when > self.duration_s:
                 break
+            self._now = when
             if sim_clock is not None:
                 sim_clock.now = when
             if kind == _PACKET:
@@ -129,6 +204,8 @@ class EventDrivenSimulation:
                 self._on_removal(when)
             elif kind == _RECOVERY:
                 self._on_recovery(payload)
+            elif kind == _FAULT:
+                self.injector.apply(self, payload, when)
             else:
                 self._on_sample(when)
 
@@ -166,6 +243,8 @@ class EventDrivenSimulation:
                 # PCC violation: the connection is reset by the new backend.
                 flow.broken = True
                 self.result.pcc_violations += 1
+                if self._now - self._last_fault_time <= self._fault_window:
+                    self.result.violations_under_fault += 1
                 self._retire(flow)
                 return
         flow.next_packet += 1
@@ -192,24 +271,18 @@ class EventDrivenSimulation:
     def _on_removal(self, now: float) -> None:
         victim = self._pick_up_server()
         if victim is not None:
-            self._mark_down(victim)
-            self.result.removals += 1
-            # Connections to the victim are inevitably broken (Section 2.1);
-            # count and retire them -- tracking could not have saved them.
-            doomed = self._flows_by_server.pop(victim, set())
-            for flow in doomed:
-                flow.broken = True
-                flow.inevitable = True
-                self._load.flow_ended(victim)
-            self.result.inevitably_broken += len(doomed)
-            self.manager.remove_server(victim)
-            self._push(now + self.downtime_dist.sample(self._rng), _RECOVERY, victim)
+            self.crash_server(victim, now)
         self._push(now + self._rng.expovariate(self._removal_rate), _REMOVAL)
 
     def _on_recovery(self, server: Name) -> None:
         self._mark_up(server)
         self.result.additions += 1
         self.manager.recover_server(server)
+        if server in self._probated:
+            self._probated.discard(server)
+            self.result.probation_readmissions += 1
+        if self.injector is not None and self.injector.health is not None:
+            self.injector.health.note_recovered(server, self._now)
 
     def _on_sample(self, now: float) -> None:
         oversub = self._load.oversubscription(len(self._up))
@@ -234,3 +307,8 @@ class EventDrivenSimulation:
             result.ct_hit_rate = ct.stats.hit_rate
             if ct.stats.peak_size > result.peak_tracked:
                 result.peak_tracked = ct.stats.peak_size
+        # LB-pool balancers expose their sync channel's degradation stats.
+        channel = getattr(self.lb, "channel", None)
+        if channel is not None:
+            result.sync_failures = channel.stats.lost_attempts
+            result.unreplicated_entries = channel.stats.unreplicated

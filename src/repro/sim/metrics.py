@@ -8,7 +8,11 @@ Tracks exactly what Section 5.1 reports:
   ``most-loaded server's active connections / (active connections /
   active servers)``;
 - **tracked connections**: CT table occupancy over time;
-- bookkeeping: flows started/completed, surprise additions, CT stats.
+- bookkeeping: flows started/completed, surprise additions, CT stats;
+- **resilience counters** (chaos runs, :mod:`repro.faults`): fault events
+  by kind, violations attributed to faults, probation re-admissions, CT
+  sync failures, and the paper's §2.3 predicted breakage for unannounced
+  additions.
 """
 
 from __future__ import annotations
@@ -40,9 +44,20 @@ class SimResult:
     ct_evictions: int = 0
     ct_hit_rate: float = 0.0
     wall_seconds: float = 0.0
+    # Resilience counters (zero unless a ChaosInjector drove the run).
+    fault_events: int = 0
+    crashes: int = 0
+    flaps: int = 0
+    correlated_failures: int = 0
+    unannounced_additions: int = 0
+    predicted_unannounced_breakage: float = 0.0
+    violations_under_fault: int = 0
+    probation_readmissions: int = 0
+    sync_failures: int = 0
+    unreplicated_entries: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"flows={self.flows_started} packets={self.packets_processed} "
             f"removals={self.removals} additions={self.additions} "
             f"(surprise={self.surprise_additions}) "
@@ -51,6 +66,16 @@ class SimResult:
             f"max oversub={self.max_oversubscription:.3f} "
             f"peak tracked={self.peak_tracked}"
         )
+        if self.fault_events:
+            text += (
+                f" | faults={self.fault_events} "
+                f"(crash={self.crashes} flap={self.flaps} "
+                f"group={self.correlated_failures} "
+                f"unannounced={self.unannounced_additions}) "
+                f"violations-under-fault={self.violations_under_fault} "
+                f"probation readmissions={self.probation_readmissions}"
+            )
+        return text
 
 
 class LoadTracker:

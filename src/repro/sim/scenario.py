@@ -61,6 +61,11 @@ class SimulationConfig:
     size_dist: Optional[Distribution] = None
     duration_dist: Optional[Distribution] = None
     downtime_dist: Optional[Distribution] = None
+    # Adversarial churn (repro.faults); None keeps the polite §5 model.
+    fault_schedule: Optional[object] = None  # FaultSchedule
+    fault_window_s: float = 10.0
+    probation_base_s: float = 1.0
+    probation_cap_s: float = 60.0
 
     def with_(self, **changes) -> "SimulationConfig":
         """A copy with the given fields replaced (sweep helper)."""
@@ -73,8 +78,14 @@ def build_balancer(config: SimulationConfig):
     standby = list(range(config.n_servers, config.n_servers + config.horizon_size))
     ch_kwargs = dict(config.ch_kwargs)
     if config.ch_family == "anchor" and "capacity" not in ch_kwargs:
-        # Leave headroom for forced additions and horizon churn.
-        ch_kwargs["capacity"] = 2 * (config.n_servers + config.horizon_size) + 16
+        # Leave headroom for forced additions and horizon churn; chaos
+        # schedules can force-add brand-new identities, each needing a slot.
+        extra = 0
+        if config.fault_schedule is not None:
+            extra = 2 * sum(
+                1 for e in config.fault_schedule if e.kind == "unannounced_add"
+            )
+        ch_kwargs["capacity"] = 2 * (config.n_servers + config.horizon_size) + 16 + extra
     ch = make_ch(config.ch_family, working, standby, **ch_kwargs)
     clock = Clock() if config.ct_policy == "ttl" else None
     ct = make_ct(
@@ -111,6 +122,17 @@ def run_simulation(config: SimulationConfig) -> SimResult:
         duration_dist=duration_dist,
         seed=config.seed,
     )
+    injector = None
+    if config.fault_schedule is not None and len(config.fault_schedule):
+        from repro.faults import ChaosInjector, HealthMonitor
+
+        injector = ChaosInjector(
+            config.fault_schedule,
+            health=HealthMonitor(
+                base_s=config.probation_base_s, cap_s=config.probation_cap_s
+            ),
+            fault_window_s=config.fault_window_s,
+        )
     sim = EventDrivenSimulation(
         balancer=balancer,
         workload=workload,
@@ -122,6 +144,7 @@ def run_simulation(config: SimulationConfig) -> SimResult:
         seed=config.seed,
         sample_interval=config.sample_interval,
         warmup_s=config.warmup_s,
+        injector=injector,
     )
     return sim.run()
 

@@ -18,6 +18,14 @@ class TestParser:
         args = build_parser().parse_args(["simulate"])
         assert args.mode == "jet"
         assert args.family == "anchor"
+        # Chaos is opt-in: every fault rate defaults to zero.
+        assert args.crash_rate == args.flap_rate == 0.0
+        assert args.group_rate == args.unannounced_rate == 0.0
+
+    def test_resilience_is_a_known_experiment(self):
+        args = build_parser().parse_args(["experiment", "resilience", "--seed", "4"])
+        assert args.name == "resilience"
+        assert args.seed == 4
 
 
 class TestCommands:
@@ -45,6 +53,19 @@ class TestCommands:
             ]
         )
         assert code == 0
+
+    def test_simulate_with_chaos(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "table", "--servers", "20",
+                "--horizon", "2", "--rate", "100", "--duration", "8",
+                "--update-rate", "0", "--crash-rate", "10",
+                "--unannounced-rate", "10", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults=" in out
 
     def test_trace_generate_info_replay_roundtrip(self, tmp_path, capsys):
         out = str(tmp_path / "t.npz")

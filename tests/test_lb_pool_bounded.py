@@ -1,0 +1,172 @@
+"""LB-pool tests with *bounded* CTs and fallible sync (Section 6.2 under
+real-world constraints): eviction-masking, member crash/partition, and
+degraded-mode replication."""
+
+import pytest
+
+from repro.ch import HRWHash
+from repro.ch.properties import sample_keys
+from repro.core import FullCTLoadBalancer, JETLoadBalancer
+from repro.core.lb_pool import LBPool
+from repro.ct import make_ct
+from repro.faults import SyncChannel
+
+W = [f"w{i}" for i in range(12)]
+H = ["h0", "h1"]
+KEYS = sample_keys(1500, seed=77)
+
+
+def bounded_full_factory(capacity=32):
+    return lambda: FullCTLoadBalancer(HRWHash(W, H), make_ct(capacity, "lru"))
+
+
+def bounded_jet_factory(capacity=32):
+    return lambda: JETLoadBalancer(HRWHash(W, H), make_ct(capacity, "lru"))
+
+
+class TestEvictionMasksInsert:
+    def test_every_insert_replicates_even_at_capacity(self):
+        # With a full bounded CT, each insert coincides with an eviction
+        # and the table size never changes; size-based "did we insert?"
+        # detection silently stops replicating at that point.
+        pool = LBPool(bounded_full_factory(capacity=16), size=2, sync=True)
+        for k in KEYS[:400]:  # distinct keys, well past capacity
+            pool.get_destination(k)
+        # Full CT inserts every new flow; each is offered to the one peer.
+        assert pool.channel.stats.offered == 400
+        assert pool.synced_entries == 400
+
+    def test_entry_inserted_at_capacity_reaches_peer(self):
+        pool = LBPool(bounded_full_factory(capacity=8), size=2, sync=True)
+        origin, peer = pool.members
+        mine = [k for k in KEYS if pool._steer(k) is origin]
+        for k in mine[:8]:  # fill the origin's CT exactly
+            pool.get_destination(k)
+        assert len(origin.ct) == 8
+        fresh = mine[8]
+        destination = pool.get_destination(fresh)
+        assert len(origin.ct) == 8  # eviction masked the insert...
+        assert peer.ct.peek(fresh) == destination  # ...but it replicated
+
+
+class TestPoolChangesMidTraffic:
+    def test_grow_seeds_new_member_from_donor(self):
+        pool = LBPool(bounded_full_factory(capacity=64), size=2, sync=True)
+        for k in KEYS[:200]:
+            pool.get_destination(k)
+        member = pool.add_lb()
+        assert member.tracked_connections > 0
+        # The donor's (bounded) CT is what gets copied, capped by capacity.
+        assert member.tracked_connections <= 64
+        assert member.working == pool.members[0].working
+
+    def test_shrink_reports_lost_entries(self):
+        pool = LBPool(bounded_full_factory(capacity=64), size=3, sync=False)
+        for k in KEYS[:300]:
+            pool.get_destination(k)
+        doomed = pool.members[-1]
+        lost = pool.remove_lb()
+        assert lost == doomed.tracked_connections
+        assert lost > 0
+        assert pool.lost_entries == lost
+        assert pool.size == 2
+
+    def test_remove_lb_validates_index(self):
+        pool = LBPool(bounded_full_factory(), size=3)
+        with pytest.raises(ValueError):
+            pool.remove_lb(3)
+        with pytest.raises(ValueError):
+            pool.remove_lb(-4)
+        with pytest.raises(ValueError):
+            pool.remove_lb("first")
+        with pytest.raises(ValueError):
+            pool.remove_lb(True)
+        assert pool.size == 3  # nothing removed by the failed calls
+
+    def test_traffic_continues_after_grow_and_shrink(self):
+        pool = LBPool(bounded_jet_factory(capacity=32), size=2, sync=True)
+        for k in KEYS[:100]:
+            assert pool.get_destination(k) in pool.working
+        pool.add_lb()
+        pool.remove_working_server(W[0])
+        for k in KEYS[100:200]:
+            assert pool.get_destination(k) in pool.working
+        pool.remove_lb(0)
+        for k in KEYS[200:300]:
+            assert pool.get_destination(k) in pool.working
+
+
+class TestCrashAndPartition:
+    def test_crash_counts_and_loses_state(self):
+        pool = LBPool(bounded_full_factory(capacity=64), size=3, sync=False)
+        for k in KEYS[:300]:
+            pool.get_destination(k)
+        lost = pool.crash_lb(1)
+        assert lost > 0
+        assert pool.crashes == 1
+        assert pool.lost_entries == lost
+
+    def test_partitioned_member_misses_broadcasts(self):
+        pool = LBPool(bounded_jet_factory(), size=3)
+        stale = pool.partition_lb(1)
+        assert pool.degraded
+        pool.remove_working_server(W[0])
+        assert W[0] in stale.working  # missed the broadcast
+        assert all(
+            W[0] not in m.working for m in pool.members if m is not stale
+        )
+
+    def test_heal_replays_missed_suffix(self):
+        pool = LBPool(bounded_jet_factory(), size=3)
+        pool.remove_working_server(W[0])  # applied everywhere
+        stale = pool.partition_lb(1)
+        pool.remove_working_server(W[1])
+        pool.add_working_server(W[0])
+        assert stale.working != pool.members[0].working
+        replayed = pool.heal_lb(1)
+        assert replayed == 2  # only the missed suffix, not the full log
+        assert stale.working == pool.members[0].working
+        assert not pool.degraded
+        assert pool.heal_lb(1) == 0  # idempotent
+
+    def test_partition_stops_sync_to_member(self):
+        pool = LBPool(bounded_full_factory(capacity=64), size=2, sync=True)
+        isolated = pool.partition_lb(1)
+        before = isolated.tracked_connections
+        for k in KEYS[:100]:
+            pool.get_destination(k)
+        served = isolated.tracked_connections - before
+        # It still serves its own ECMP slice but receives no replication.
+        assert served == sum(1 for k in KEYS[:100] if pool._steer(k) is isolated)
+
+
+class TestDegradedSync:
+    def test_lossy_channel_reports_degraded(self):
+        channel = SyncChannel(
+            loss_probability=0.9, lag_lookups=1, max_retries=1,
+            backoff_lookups=2, seed=2,
+        )
+        pool = LBPool(bounded_full_factory(capacity=256), size=2, sync=channel)
+        for k in KEYS[:400]:
+            pool.get_destination(k)
+        channel.drain()
+        assert channel.stats.unreplicated > 0
+        assert pool.degraded
+        stats = channel.stats
+        assert stats.delivered + stats.unreplicated == stats.offered
+
+    def test_lagged_sync_eventually_protects(self):
+        channel = SyncChannel(lag_lookups=4)
+        pool = LBPool(bounded_full_factory(capacity=1024), size=2, sync=channel)
+        destinations = {k: pool.get_destination(k) for k in KEYS[:200]}
+        channel.drain()
+        # After the lag settles, every entry is on both members.
+        for member in pool.members:
+            for k, d in destinations.items():
+                assert member.ct.peek(k) == d
+
+    def test_sync_bool_back_compat(self):
+        assert LBPool(bounded_full_factory(), size=2, sync=True).sync is True
+        assert LBPool(bounded_full_factory(), size=2, sync=False).sync is False
+        channel = SyncChannel(loss_probability=0.1, seed=1)
+        assert LBPool(bounded_full_factory(), size=2, sync=channel).sync is True

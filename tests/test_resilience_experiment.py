@@ -1,0 +1,79 @@
+"""Resilience-experiment acceptance tests (at smoke scale).
+
+The ISSUE's acceptance criteria: the sweep is bit-reproducible for a
+fixed seed; JET's violations under fault track full CT's while its table
+stays near |H|/(|W|+|H|) of full's; and the §2.3 unannounced-addition
+scenario measures degradation consistent with the paper's prediction
+(below it, by the right-censoring observation factor)."""
+
+import json
+
+import pytest
+
+from repro.experiments.resilience import build_payload
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return build_payload("smoke", seed=SEED)
+
+
+def test_payload_is_bit_reproducible(payload):
+    again = build_payload("smoke", seed=SEED)
+    assert json.dumps(payload, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+
+def test_sweep_shape_and_fault_accounting(payload):
+    rows = payload["sweep"]
+    assert len(rows) == len(payload["fault_rates_per_min"]) * 3
+    for row in rows:
+        if row["fault_rate_per_min"] == 0.0:
+            assert row["fault_events"] == 0
+            assert row["pcc_violations"] == 0
+        else:
+            assert row["fault_events"] > 0
+        assert row["violations_under_fault"] <= row["pcc_violations"]
+
+    def violations(mode):
+        return {
+            r["fault_rate_per_min"]: r["pcc_violations"]
+            for r in rows
+            if r["mode"] == mode
+        }
+
+    jet, full, stateless = violations("jet"), violations("full"), violations("stateless")
+    top = max(payload["fault_rates_per_min"])
+    # Full CT absorbs even chaos-driven churn; JET only leaks on the
+    # unannounced component; stateless is the upper envelope.
+    for rate in jet:
+        assert full[rate] == 0
+        assert jet[rate] <= stateless[rate]
+    assert stateless[top] > 0
+
+
+def test_tracking_economy_bound_survives_chaos(payload):
+    economy = payload["tracking_economy"]
+    expected = economy["expected_fraction"]
+    assert economy["full_mean_tracked"] > 0
+    # Theorem 4.2's fraction, with slack for chaos-time noise.
+    assert economy["tracked_ratio"] <= expected + 0.05
+    assert economy["tracked_ratio"] > 0
+
+
+def test_contract_check_matches_prediction_band(payload):
+    modes = payload["contract_check"]["modes"]
+    jet, full, stateless = modes["jet"], modes["full"], modes["stateless"]
+    assert jet["unannounced_additions"] > 0
+    assert jet["predicted_breakage_adjusted"] > 10  # enough signal to judge
+    # Full CT tracked every connection, so unannounced adds break ~none.
+    assert full["pcc_violations"] <= 1
+    # JET's measured breakage sits below the §2.3 prediction by the
+    # right-censoring observation factor, but well above zero.
+    ratio = jet["measured_over_predicted"]
+    assert 0.15 <= ratio <= 1.2
+    # All of JET's contract-scenario violations are fault-attributed.
+    assert jet["violations_under_fault"] == jet["pcc_violations"]
+    # Stateless breaks at least as much as JET.
+    assert stateless["pcc_violations"] >= jet["pcc_violations"]
