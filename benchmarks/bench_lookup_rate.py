@@ -8,16 +8,21 @@ the *relative* JET-vs-full-CT effects of table size still show.
 These use real pytest-benchmark rounds (they are microseconds-scale).
 """
 
+from pathlib import Path
+
+import numpy as np
 import pytest
 
+from benchmarks import reporting
 from repro.ch import rows_for
 from repro.ch.properties import sample_keys
-from repro.core import make_full_ct, make_jet
+from repro.core import make_ch, make_full_ct, make_jet
 
 N, H_SIZE = 50, 5
 WORKING = [f"s{i}" for i in range(N)]
 HORIZON = [f"t{i}" for i in range(H_SIZE)]
 KEYS = sample_keys(20_000, seed=101)
+KEYS_ARR = np.array(KEYS, dtype=np.uint64)
 
 
 def _drive(lb):
@@ -64,3 +69,55 @@ def test_ct_miss_path_rate(benchmark):
             get(k + 1)  # perturbed keys: never tracked (safe rows dominate)
 
     benchmark(misses)
+
+
+def _make_ch(family):
+    kwargs = {}
+    if family == "table":
+        kwargs["rows"] = rows_for(N)
+    if family == "anchor":
+        kwargs["capacity"] = 2 * (N + H_SIZE)
+    return make_ch(family, WORKING, HORIZON, **kwargs)
+
+
+@pytest.mark.parametrize("family", ["hrw", "ring", "table", "anchor", "jump", "modulo"])
+def test_ch_scalar_safety_rate(benchmark, family):
+    """Scalar reference: one lookup_with_safety call per key."""
+    ch = _make_ch(family)
+
+    def scalar():
+        lookup = ch.lookup_with_safety
+        for k in KEYS:
+            lookup(k)
+
+    benchmark(scalar)
+
+
+@pytest.mark.parametrize("family", ["hrw", "ring", "table", "anchor", "jump", "modulo"])
+def test_ch_batch_safety_rate(benchmark, family):
+    """Batched dataplane: the same keys in one lookup_with_safety_batch
+    call (vectorized for hrw/table/jump/modulo, scalar fallback for
+    ring/anchor -- the pairing with the scalar case above is what makes
+    the speedup visible in the timing table)."""
+    ch = _make_ch(family)
+    benchmark(ch.lookup_with_safety_batch, KEYS_ARR)
+
+
+@pytest.mark.parametrize("family", ["hrw", "table"])
+def test_jet_batch_dispatch_rate(benchmark, family):
+    """Full LB batch path: CT mask + vectorized CH + batch insert."""
+    kwargs = {"rows": rows_for(N)} if family == "table" else {}
+    lb = make_jet(family, WORKING, HORIZON, **kwargs)
+    lb.get_destinations_batch(KEYS_ARR)  # warm the CT with the unsafe keys
+    benchmark(lb.get_destinations_batch, KEYS_ARR)
+
+
+def test_dataplane_speedup_report(once):
+    """Run the throughput experiment's CH sweep and publish the
+    machine-readable speedup artifact (BENCH_dataplane.json)."""
+    from repro.experiments import throughput
+
+    payload = once(throughput.run_throughput, "smoke")
+    path = Path(__file__).resolve().parents[1] / "BENCH_dataplane.json"
+    throughput.write_json(payload, str(path))
+    reporting.record("batched dataplane speedups", throughput.format_report(payload))

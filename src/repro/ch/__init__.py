@@ -22,7 +22,7 @@ from repro.ch.ring_incremental import IncrementalRingHash
 from repro.ch.table_hrw import ScalarTableHRW, TableHRWHash, rows_for
 from repro.ch.anchor import AnchorBuckets, AnchorHash
 from repro.ch.maglev import MaglevHash
-from repro.ch.jump import JumpHash, jump_bucket
+from repro.ch.jump import JumpHash, jump_bucket, v_jump_bucket
 from repro.ch.modulo import ModuloHash
 from repro.ch.weighted import WeightedHRWHash, WeightedRingHash
 
@@ -34,6 +34,15 @@ JET_FAMILIES = {
     "ring-incremental": IncrementalRingHash,
     "table": TableHRWHash,
     "anchor": AnchorHash,
+}
+
+#: Horizon-aware extension families beyond the paper's four (Jump with a
+#: stack horizon; the §2.4 mod-N strawman).  They satisfy the same
+#: interface -- including the batch lookup contract -- and are covered by
+#: the batch-vs-scalar differential tests.
+EXTENSION_FAMILIES = {
+    "jump": JumpHash,
+    "modulo": ModuloHash,
 }
 
 __all__ = [
@@ -52,8 +61,10 @@ __all__ = [
     "MaglevHash",
     "JumpHash",
     "jump_bucket",
+    "v_jump_bucket",
     "ModuloHash",
     "WeightedHRWHash",
     "WeightedRingHash",
     "JET_FAMILIES",
+    "EXTENSION_FAMILIES",
 ]

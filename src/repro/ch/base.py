@@ -25,6 +25,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Hashable, Tuple
 
+import numpy as np
+
 Name = Hashable
 
 
@@ -47,6 +49,22 @@ class ConsistentHash(ABC):
 
         Raises :class:`BackendError` if the working set is empty.
         """
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Return ``CH(W, k)`` for every key of a uint64 array.
+
+        Batch calls are *pure lookups*: no CH mutates under them, so the
+        result is defined to be exactly ``[lookup(k) for k in keys]`` --
+        the scalar path is the executable spec, and the differential
+        tests hold every override to it key-for-key.  This default is
+        that scalar loop; numpy-friendly families (HRW, table-HRW,
+        modulo, jump) override it with true vector code.  An empty batch
+        returns an empty array and never raises.
+        """
+        found = [self.lookup(k) for k in np.asarray(keys, dtype=np.uint64).tolist()]
+        out = np.empty(len(found), dtype=object)
+        out[:] = found
+        return out
 
     @abstractmethod
     def add(self, name: Name) -> None:
@@ -93,6 +111,26 @@ class HorizonConsistentHash(ConsistentHash):
         (Theorem 4.4).
         """
 
+    def lookup_with_safety_batch(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(destinations, unsafe_mask)`` for a uint64 key array.
+
+        Defined as exactly ``[lookup_with_safety(k) for k in keys]`` (see
+        :meth:`ConsistentHash.lookup_batch` for the batch contract); this
+        default is that loop, vectorized families override it.
+        """
+        pairs = [
+            self.lookup_with_safety(k)
+            for k in np.asarray(keys, dtype=np.uint64).tolist()
+        ]
+        destinations = np.empty(len(pairs), dtype=object)
+        if not pairs:
+            return destinations, np.zeros(0, dtype=bool)
+        found, unsafe = zip(*pairs)
+        destinations[:] = found
+        return destinations, np.array(unsafe, dtype=bool)
+
     @abstractmethod
     def add_working(self, name: Name) -> None:
         """Move ``name`` from the horizon into the working set."""
@@ -130,6 +168,10 @@ class HorizonConsistentHash(ConsistentHash):
     def lookup(self, key_hash: int) -> Name:
         destination, _ = self.lookup_with_safety(key_hash)
         return destination
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        destinations, _ = self.lookup_with_safety_batch(keys)
+        return destinations
 
     def lookup_union(self, key_hash: int) -> Name:
         """Return ``CH(W ∪ H, k)``: the destination after the whole horizon

@@ -15,8 +15,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Tuple
 
+import numpy as np
+
 from repro.ch.base import BackendError, HorizonConsistentHash, Name
 from repro.hashing.keyed import KeyedHasher
+from repro.hashing.vector import v_mix2_outer
 
 
 class HRWHash(HorizonConsistentHash):
@@ -68,6 +71,45 @@ class HRWHash(HorizonConsistentHash):
         if best is None:
             raise BackendError("lookup on empty server set")
         return best.name
+
+    def lookup_with_safety_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized Algorithm 2: one weight matrix per side, argmax over
+        servers.  Server rows are sorted by descending seed so that
+        ``argmax`` (first maximum) realizes the scalar ``(weight, seed)``
+        lexicographic tie-break."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        if not self._working:
+            raise BackendError("lookup on empty working set")
+        w_seeds, w_names = self._seed_matrix(self._working)
+        weights = v_mix2_outer(w_seeds, keys)
+        winner = weights.argmax(axis=0)
+        columns = np.arange(n)
+        best_weight = weights[winner, columns]
+        destinations = w_names[winner]
+        if not self._horizon:
+            return destinations, np.zeros(n, dtype=bool)
+        best_seed = w_seeds[winner]
+        h_seeds, _ = self._seed_matrix(self._horizon)
+        h_weights = v_mix2_outer(h_seeds, keys)
+        challenger = h_weights.argmax(axis=0)
+        h_best = h_weights[challenger, columns]
+        h_seed = h_seeds[challenger]
+        unsafe = (h_best > best_weight) | (
+            (h_best == best_weight) & (h_seed > best_seed)
+        )
+        return destinations, unsafe
+
+    @staticmethod
+    def _seed_matrix(side: Dict[Name, KeyedHasher]):
+        """(seeds, names) arrays of one side, sorted by descending seed."""
+        hashers = sorted(side.values(), key=lambda h: h.seed, reverse=True)
+        seeds = np.array([h.seed for h in hashers], dtype=np.uint64)
+        names = np.empty(len(hashers), dtype=object)
+        names[:] = [h.name for h in hashers]
+        return seeds, names
 
     @staticmethod
     def _argmax(hashers, key_hash: int):

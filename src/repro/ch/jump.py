@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.ch.base import BackendError, HorizonConsistentHash, Name
 from repro.hashing.mix import MASK64
 
@@ -29,6 +31,31 @@ def jump_bucket(key_hash: int, num_buckets: int) -> int:
         b = j
         key = (key * _JUMP_MULT + 1) & MASK64
         j = int((b + 1) * ((1 << 31) / ((key >> 33) + 1)))
+    return b
+
+
+def v_jump_bucket(keys: np.ndarray, num_buckets: int) -> np.ndarray:
+    """Vectorized :func:`jump_bucket` over a uint64 key array.
+
+    The per-key jump chain has data-dependent length, so the loop runs on
+    a shrinking active mask; every arithmetic step (wrapping uint64 LCG,
+    float64 division/truncation) mirrors the scalar operations exactly,
+    keeping the bucket sequence bit-identical.
+    """
+    if num_buckets <= 0:
+        raise BackendError("jump_bucket needs at least one bucket")
+    key = np.asarray(keys, dtype=np.uint64).copy()
+    b = np.full(len(key), -1, dtype=np.int64)
+    j = np.zeros(len(key), dtype=np.int64)
+    mult, one, s33 = np.uint64(_JUMP_MULT), np.uint64(1), np.uint64(33)
+    active = j < num_buckets
+    while active.any():
+        b[active] = j[active]
+        advanced = key[active] * mult + one
+        key[active] = advanced
+        fraction = np.float64(1 << 31) / ((advanced >> s33) + one).astype(np.float64)
+        j[active] = ((b[active] + 1).astype(np.float64) * fraction).astype(np.int64)
+        active = j < num_buckets
     return b
 
 
@@ -68,6 +95,22 @@ class JumpHash(HorizonConsistentHash):
         bucket = jump_bucket(key_hash, self._n_working)
         union_bucket = jump_bucket(key_hash, len(self._order))
         return self._order[bucket], union_bucket != bucket
+
+    def lookup_with_safety_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized stack-horizon safety: one jump per set size."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        if self._n_working == 0:
+            raise BackendError("lookup on empty working set")
+        buckets = v_jump_bucket(keys, self._n_working)
+        if self._n_working == len(self._order):
+            union_buckets = buckets
+        else:
+            union_buckets = v_jump_bucket(keys, len(self._order))
+        names = np.empty(self._n_working, dtype=object)
+        names[:] = self._order[: self._n_working]
+        return names[buckets], union_buckets != buckets
 
     def lookup_union(self, key_hash: int) -> Name:
         if not self._order:

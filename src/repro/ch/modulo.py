@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, List, Tuple
 
+import numpy as np
+
 from repro.ch.base import BackendError, HorizonConsistentHash, Name
 from repro.hashing.keyed import server_seed
 
@@ -50,6 +52,22 @@ class ModuloHash(HorizonConsistentHash):
             for extra in range(1, len(self._horizon) + 1)
         )
         return destination, unsafe
+
+    def lookup_with_safety_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized mod-N: one modulo per union size."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        n = len(self._working)
+        if n == 0:
+            raise BackendError("lookup on empty working set")
+        indices = keys % np.uint64(n)
+        names = np.empty(n, dtype=object)
+        names[:] = self._working
+        unsafe = np.zeros(len(keys), dtype=bool)
+        for extra in range(1, len(self._horizon) + 1):
+            unsafe |= keys % np.uint64(n + extra) != indices
+        return names[indices.astype(np.intp)], unsafe
 
     def lookup_union(self, key_hash: int) -> Name:
         servers = sorted(self._working + self._horizon, key=server_seed)

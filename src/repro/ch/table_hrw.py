@@ -154,6 +154,19 @@ class TableHRWHash(HorizonConsistentHash):
             raise BackendError("lookup on empty working set")
         return self._names[winner], bool(self._tr[row])
 
+    def lookup_with_safety_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized Algorithm 4 lookup: two indexed gathers per batch."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        rows = (keys % np.uint64(self.rows)).astype(np.intp)
+        winners = self._ch[rows]
+        if (winners == _NO_SERVER).any():
+            raise BackendError("lookup on empty working set")
+        names = np.empty(len(self._names), dtype=object)
+        names[:] = self._names
+        return names[winners], self._tr[rows].copy()
+
     def lookup_union(self, key_hash: int) -> Name:
         row = key_hash % self.rows
         if self._ch[row] != _NO_SERVER and not self._tr[row]:

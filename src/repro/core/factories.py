@@ -19,6 +19,7 @@ from typing import Iterable, Optional
 
 from repro.ch import (
     AnchorHash,
+    EXTENSION_FAMILIES,
     HRWHash,
     JET_FAMILIES,
     MaglevHash,
@@ -34,19 +35,19 @@ from repro.ct.base import ConnectionTracker
 
 def make_ch(family: str, working: Iterable[Name], horizon: Iterable[Name] = (), **kwargs):
     """Build a CH module by family name ("hrw", "ring", "table", "anchor",
-    "maglev").  Extra kwargs reach the CH constructor (e.g. ``rows=...``,
-    ``virtual_nodes=...``, ``capacity=...``, ``table_size=...``)."""
+    "maglev", plus the "jump"/"modulo" extensions).  Extra kwargs reach the
+    CH constructor (e.g. ``rows=...``, ``virtual_nodes=...``,
+    ``capacity=...``, ``table_size=...``)."""
     if family == "maglev":
         if horizon:
             raise ValueError("MaglevHash cannot take a horizon (paper Section 3.6)")
         return MaglevHash(working, **kwargs)
-    try:
-        cls = JET_FAMILIES[family]
-    except KeyError:
+    cls = JET_FAMILIES.get(family) or EXTENSION_FAMILIES.get(family)
+    if cls is None:
         raise ValueError(
             f"unknown CH family {family!r}; choose from "
-            f"{sorted(JET_FAMILIES) + ['maglev']}"
-        ) from None
+            f"{sorted(JET_FAMILIES) + sorted(EXTENSION_FAMILIES) + ['maglev']}"
+        )
     return cls(working=working, horizon=horizon, **kwargs)
 
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional, Set
 
+import numpy as np
+
 from repro.ch.base import ConsistentHash, HorizonConsistentHash
 from repro.core.interfaces import LoadBalancer, Name
 from repro.ct.base import ConnectionTracker
@@ -49,6 +51,28 @@ class FullCTLoadBalancer(LoadBalancer):
         destination = self.ch.lookup(key_hash)
         self.ct.put(key_hash, destination)  # track unconditionally
         return destination
+
+    def get_destinations_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Batched full CT: CT-hit mask -> CH batch -> insert every miss.
+
+        Same soundness gate as JET's batch path: regrouping CT gets/puts
+        requires a reorder-safe table and the active-cleanup invariant
+        (no stale destinations to validate lazily); otherwise the scalar
+        loop runs so eviction and recency order are preserved exactly.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=object)
+        if not (self.ct.batch_reorder_safe and self.active_cleanup):
+            return LoadBalancer.get_destinations_batch(self, keys)
+        destinations = self.ct.get_batch(keys)
+        miss = np.array([d is None for d in destinations], dtype=bool)
+        if miss.any():
+            miss_keys = keys[miss]
+            found = self.ch.lookup_batch(miss_keys)
+            destinations[miss] = found
+            self.ct.put_batch(miss_keys, found)
+        return destinations
 
     # -------------------------------------------------- backend changes
     def add_working_server(self, name: Name) -> None:

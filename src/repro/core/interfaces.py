@@ -13,6 +13,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Hashable
 
+import numpy as np
+
 Name = Hashable
 
 
@@ -22,6 +24,25 @@ class LoadBalancer(ABC):
     @abstractmethod
     def get_destination(self, key_hash: int) -> Name:
         """Destination server for a packet of connection ``key_hash``."""
+
+    def get_destinations_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Destinations for a uint64 array of packet keys.
+
+        The batch contract: same destinations and same post-batch CT
+        key->destination mapping as dispatching the keys one by one
+        through :meth:`get_destination` (no backend change may occur
+        mid-batch).  This default *is* that scalar loop, so every LB --
+        including load-aware ones that never override it -- honours the
+        contract; JET/full-CT/stateless override it with a composed
+        CT-mask + vectorized-CH fast path.
+        """
+        found = [
+            self.get_destination(k)
+            for k in np.asarray(keys, dtype=np.uint64).tolist()
+        ]
+        out = np.empty(len(found), dtype=object)
+        out[:] = found
+        return out
 
     @abstractmethod
     def add_working_server(self, name: Name) -> None:

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional, Set
 
+import numpy as np
+
 from repro.ch.base import HorizonConsistentHash
 from repro.core.interfaces import LoadBalancer, Name
 from repro.ct.base import ConnectionTracker
@@ -56,6 +58,32 @@ class JETLoadBalancer(LoadBalancer):
         if unsafe:
             self.ct.put(key_hash, destination)
         return destination
+
+    def get_destinations_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Batched Algorithm 1: CT-hit mask -> CH batch on the misses ->
+        batch-insert the unsafe misses.
+
+        The composed fast path regroups CT operations (all gets, then all
+        puts), which is only sound when the table has no recency/eviction
+        state (``batch_reorder_safe``) and when active cleanup keeps the
+        stale-destination invariant (lazy validation needs per-key
+        interleaving).  Otherwise this falls back to the scalar loop, so
+        the batch contract holds for every configuration.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=object)
+        if not (self.ct.batch_reorder_safe and self.active_cleanup):
+            return LoadBalancer.get_destinations_batch(self, keys)
+        destinations = self.ct.get_batch(keys)
+        miss = np.array([d is None for d in destinations], dtype=bool)
+        if miss.any():
+            miss_keys = keys[miss]
+            found, unsafe = self.ch.lookup_with_safety_batch(miss_keys)
+            destinations[miss] = found
+            if unsafe.any():
+                self.ct.put_batch(miss_keys[unsafe], found[unsafe])
+        return destinations
 
     # -------------------------------------------------- backend changes
     def add_working_server(self, name: Name) -> None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, Set
 
+import numpy as np
+
 from repro.ch.base import ConsistentHash, HorizonConsistentHash
 from repro.core.interfaces import LoadBalancer, Name
 
@@ -25,6 +27,9 @@ class StatelessLoadBalancer(LoadBalancer):
 
     def get_destination(self, key_hash: int) -> Name:
         return self.ch.lookup(key_hash)
+
+    def get_destinations_batch(self, keys: np.ndarray) -> np.ndarray:
+        return self.ch.lookup_batch(np.asarray(keys, dtype=np.uint64))
 
     def add_working_server(self, name: Name) -> None:
         if self._horizon_aware:

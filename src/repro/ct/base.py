@@ -19,6 +19,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Hashable, Iterator, Optional, Tuple
 
+import numpy as np
+
 Destination = Hashable
 
 
@@ -45,6 +47,13 @@ class CTStats:
 class ConnectionTracker(ABC):
     """A destination cache keyed by connection identifier hash."""
 
+    #: True when batched get/put may regroup per-key operations (all gets,
+    #: then all puts) without changing future behaviour.  Only tables with
+    #: no recency or eviction state can promise this; bounded tables keep
+    #: it False so the batch dataplane falls back to the exact scalar
+    #: interleaving and eviction order is preserved.
+    batch_reorder_safe = False
+
     def __init__(self) -> None:
         self.stats = CTStats()
 
@@ -55,6 +64,29 @@ class ConnectionTracker(ABC):
     @abstractmethod
     def put(self, key: int, destination: Destination) -> None:
         """Track ``key``'s destination, evicting if the table is full."""
+
+    def get_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Tracked destinations for a uint64 key array (None per miss).
+
+        Semantically ``[get(k) for k in keys]`` -- stats totals included;
+        this default is that loop.  Dict-backed tables override it to
+        shed the per-call method and stats overhead.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.empty(len(keys), dtype=object)
+        for i, k in enumerate(keys.tolist()):
+            out[i] = self.get(k)
+        return out
+
+    def put_batch(self, keys: np.ndarray, destinations: np.ndarray) -> None:
+        """Track every ``(key, destination)`` pair, in array order.
+
+        Semantically ``for k, d in zip(keys, destinations): put(k, d)``;
+        the default loop keeps eviction order byte-identical to the
+        scalar path on bounded tables.
+        """
+        for k, d in zip(np.asarray(keys, dtype=np.uint64).tolist(), destinations):
+            self.put(k, d)
 
     @abstractmethod
     def delete(self, key: int) -> bool:

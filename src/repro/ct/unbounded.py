@@ -9,11 +9,16 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Tuple
 
+import numpy as np
+
 from repro.ct.base import ConnectionTracker, Destination
 
 
 class UnboundedCT(ConnectionTracker):
     """Dictionary-backed CT with no capacity limit."""
+
+    # No recency/eviction state: batched gets and puts may be regrouped.
+    batch_reorder_safe = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -30,6 +35,27 @@ class UnboundedCT(ConnectionTracker):
         if key not in self._table:
             self.stats.inserts += 1
         self._table[key] = destination
+        self._note_size()
+
+    def get_batch(self, keys: np.ndarray) -> np.ndarray:
+        """One tight pass over the table; stats updated once per batch."""
+        table_get = self._table.get
+        found = [table_get(k) for k in np.asarray(keys, dtype=np.uint64).tolist()]
+        out = np.empty(len(found), dtype=object)
+        out[:] = found
+        self.stats.lookups += len(found)
+        self.stats.hits += sum(1 for d in found if d is not None)
+        return out
+
+    def put_batch(self, keys: np.ndarray, destinations: np.ndarray) -> None:
+        """Bulk insert; peak size is noted once (the table only grows)."""
+        table = self._table
+        inserts = 0
+        for k, d in zip(np.asarray(keys, dtype=np.uint64).tolist(), destinations):
+            if k not in table:
+                inserts += 1
+            table[k] = d
+        self.stats.inserts += inserts
         self._note_size()
 
     def delete(self, key: int) -> bool:

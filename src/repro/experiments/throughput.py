@@ -1,0 +1,224 @@
+"""Batched-dataplane throughput experiment.
+
+Measures the batch lookup path introduced by the vectorized dataplane
+against the scalar reference at two layers:
+
+- **CH layer**: ``lookup_with_safety_batch`` vs a ``lookup_with_safety``
+  loop for every registered CH family (vectorized: HRW, table-HRW,
+  modulo, jump; scalar-fallback: ring, anchor -- included to show the
+  interface costs nothing where no vector code exists);
+- **LB/replay layer**: :func:`repro.traces.replay_batch` vs
+  :func:`repro.traces.replay` over a Zipf trace for JET and the
+  baselines.
+
+Every timed configuration is first differentially checked key-for-key
+against the scalar path (the replay comparison additionally asserts
+identical violations / tracked counts), so a broken vector path cannot
+produce a benchmark number.
+
+Results are written machine-readable to ``BENCH_dataplane.json`` (repo
+root by default) to anchor the performance trajectory across PRs::
+
+    python -m repro.experiments.throughput --scale smoke --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ch import rows_for
+from repro.ch.base import ConsistentHash, HorizonConsistentHash
+from repro.ch.properties import sample_keys
+from repro.core.factories import make_ch, make_full_ct, make_jet
+from repro.core.stateless import StatelessLoadBalancer
+from repro.experiments.scales import scale_name
+from repro.traces import zipf_trace
+from repro.traces.replay import replay, replay_batch
+
+#: Families swept at the CH layer ("maglev" has no safety variant and is
+#: exercised at the replay layer instead).
+CH_SWEEP = ("hrw", "table", "ring", "anchor", "jump", "modulo")
+
+#: Per-scale sweep sizing (batch size stays at the acceptance-criteria
+#: 10k keys everywhere; only population and repetition counts scale).
+SWEEP_SCALES: Dict[str, dict] = {
+    "smoke": dict(n_servers=20, repeats=2, trace_packets=30_000, trace_population=8_000),
+    "default": dict(n_servers=50, repeats=3, trace_packets=200_000, trace_population=60_000),
+    "paper": dict(n_servers=500, repeats=5, trace_packets=2_000_000, trace_population=500_000),
+}
+
+BATCH_SIZE = 10_000
+
+
+def _build_ch(family: str, n_servers: int):
+    working = [f"s{i}" for i in range(n_servers)]
+    horizon = [f"h{i}" for i in range(max(1, n_servers // 10))]
+    kwargs = {}
+    if family == "table":
+        kwargs["rows"] = rows_for(n_servers)
+    if family == "anchor":
+        kwargs["capacity"] = 2 * (len(working) + len(horizon)) + 4
+    return make_ch(family, working, horizon, **kwargs)
+
+
+def _is_vectorized(ch) -> bool:
+    """Whether the instance overrides the scalar-loop batch fallback."""
+    method = type(ch).lookup_with_safety_batch
+    return method is not HorizonConsistentHash.lookup_with_safety_batch
+
+
+def _best_of(repeats: int, func) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_ch_sweep(
+    n_servers: int, repeats: int, seed: int, batch_size: int = BATCH_SIZE
+) -> List[dict]:
+    """Scalar-vs-batch lookup rate for every CH family in the sweep."""
+    keys = np.array(sample_keys(batch_size, seed=seed), dtype=np.uint64)
+    key_list = keys.tolist()
+    rows = []
+    for family in CH_SWEEP:
+        ch = _build_ch(family, n_servers)
+        # Differential gate: a wrong batch path must never get timed.
+        probe = keys[:512]
+        destinations, unsafe = ch.lookup_with_safety_batch(probe)
+        for i, k in enumerate(probe.tolist()):
+            expected = ch.lookup_with_safety(k)
+            if (destinations[i], bool(unsafe[i])) != expected:
+                raise AssertionError(f"{family}: batch diverges from scalar at key {k}")
+
+        scalar_s = _best_of(
+            repeats, lambda: [ch.lookup_with_safety(k) for k in key_list]
+        )
+        batch_s = _best_of(repeats, lambda: ch.lookup_with_safety_batch(keys))
+        rows.append(
+            {
+                "family": family,
+                "vectorized": _is_vectorized(ch),
+                "batch_size": batch_size,
+                "scalar_keys_per_s": batch_size / scalar_s,
+                "batch_keys_per_s": batch_size / batch_s,
+                "speedup": scalar_s / batch_s,
+            }
+        )
+    return rows
+
+
+def _replay_balancers(n_servers: int):
+    working = [f"s{i}" for i in range(n_servers)]
+    horizon = [f"h{i}" for i in range(max(1, n_servers // 10))]
+    table_rows = rows_for(n_servers)
+    return {
+        "jet-table": lambda: make_jet("table", working, horizon, rows=table_rows),
+        "jet-hrw": lambda: make_jet("hrw", working, horizon),
+        "full-ct-maglev": lambda: make_full_ct("maglev", working, table_size=65537),
+        "stateless-table": lambda: StatelessLoadBalancer(
+            make_ch("table", working, horizon, rows=table_rows)
+        ),
+    }
+
+
+def run_replay_compare(
+    n_servers: int, trace_packets: int, trace_population: int, seed: int
+) -> List[dict]:
+    """Scalar vs batched trace replay; asserts metric equality, times both."""
+    trace = zipf_trace(
+        skew=1.0, n_packets=trace_packets, population=trace_population, seed=seed
+    )
+    rows = []
+    for label, build in _replay_balancers(n_servers).items():
+        scalar_result = replay(trace, build())
+        batch_result = replay_batch(trace, build())
+        if (
+            scalar_result.pcc_violations != batch_result.pcc_violations
+            or scalar_result.tracked_connections != batch_result.tracked_connections
+            or scalar_result.server_loads != batch_result.server_loads
+        ):
+            raise AssertionError(f"{label}: batched replay diverges from scalar")
+        rows.append(
+            {
+                "balancer": label,
+                "trace_packets": trace.n_packets,
+                "scalar_pps": scalar_result.rate_pps,
+                "batch_pps": batch_result.rate_pps,
+                "speedup": batch_result.rate_pps / scalar_result.rate_pps
+                if scalar_result.rate_pps
+                else 0.0,
+                "pcc_violations": batch_result.pcc_violations,
+                "tracked_connections": batch_result.tracked_connections,
+            }
+        )
+    return rows
+
+
+def run_throughput(scale: Optional[str] = None, seed: int = 1) -> dict:
+    """Run the full experiment at a preset scale; returns the JSON payload."""
+    name = scale_name(scale)
+    params = SWEEP_SCALES[name]
+    return {
+        "experiment": "batched-dataplane",
+        "scale": name,
+        "seed": seed,
+        "n_servers": params["n_servers"],
+        "ch_lookup": run_ch_sweep(params["n_servers"], params["repeats"], seed),
+        "replay": run_replay_compare(
+            params["n_servers"],
+            params["trace_packets"],
+            params["trace_population"],
+            seed,
+        ),
+    }
+
+
+def format_report(payload: dict) -> str:
+    lines = [
+        f"batched dataplane @ scale={payload['scale']} "
+        f"(n={payload['n_servers']}, batch={BATCH_SIZE})",
+        f"{'family':<10} {'scalar k/s':>12} {'batch k/s':>12} {'speedup':>8}  vectorized",
+    ]
+    for row in payload["ch_lookup"]:
+        lines.append(
+            f"{row['family']:<10} {row['scalar_keys_per_s']:>12,.0f} "
+            f"{row['batch_keys_per_s']:>12,.0f} {row['speedup']:>7.1f}x  "
+            f"{'yes' if row['vectorized'] else 'fallback'}"
+        )
+    lines.append(f"{'balancer':<16} {'scalar pps':>12} {'batch pps':>12} {'speedup':>8}")
+    for row in payload["replay"]:
+        lines.append(
+            f"{row['balancer']:<16} {row['scalar_pps']:>12,.0f} "
+            f"{row['batch_pps']:>12,.0f} {row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default=None, choices=sorted(SWEEP_SCALES))
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--output", default="BENCH_dataplane.json")
+    args = parser.parse_args(argv)
+    payload = run_throughput(scale=args.scale, seed=args.seed)
+    print(format_report(payload))
+    write_json(payload, args.output)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,8 @@ import time as _time
 from itertools import count
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
 from repro.core.interfaces import LoadBalancer, Name
 from repro.hashing.mix import splitmix64
 from repro.sim.backend import HorizonManager
@@ -62,9 +64,16 @@ class EventDrivenSimulation:
         sample_interval: float = 1.0,
         warmup_s: Optional[float] = None,
         injector=None,
+        coalesce_packets: bool = False,
     ):
         self.lb = balancer
         self.injector = injector
+        self.coalesce_packets = coalesce_packets
+        # Resolve the per-packet LB capability probes once: these getattr
+        # probes used to run on every packet of the hot loop.
+        self._note_flow_start = getattr(balancer, "note_flow_start", None)
+        self._note_flow_end = getattr(balancer, "note_flow_end", None)
+        self._syn_aware = bool(getattr(balancer, "dispatches_new_connections", False))
         self.workload = workload
         self.duration_s = duration_s
         self.sample_interval = sample_interval
@@ -187,6 +196,7 @@ class EventDrivenSimulation:
 
         heap = self._heap
         sim_clock = self._sim_clock
+        coalesce = self.coalesce_packets
         while heap:
             when, _, kind, payload = heapq.heappop(heap)
             if when > self.duration_s:
@@ -195,7 +205,13 @@ class EventDrivenSimulation:
             if sim_clock is not None:
                 sim_clock.now = when
             if kind == _PACKET:
-                self._on_packet(payload)
+                if coalesce and heap and heap[0][0] == when and heap[0][2] == _PACKET:
+                    batch = [payload]
+                    while heap and heap[0][0] == when and heap[0][2] == _PACKET:
+                        batch.append(heapq.heappop(heap)[3])
+                    self._on_packet_batch(batch)
+                else:
+                    self._on_packet(payload)
             elif kind == _ARRIVAL:
                 self._on_arrival(when)
             elif kind == _FLOW_END:
@@ -226,27 +242,74 @@ class EventDrivenSimulation:
             return
         self.result.packets_processed += 1
         if flow.true_destination is None:
-            # First packet (TCP SYN): load-aware LBs may run their
-            # new-connection placement here (Section 6.3).
-            if getattr(self.lb, "dispatches_new_connections", False):
-                destination = self.lb.get_destination(flow.key, True)
-            else:
-                destination = self.lb.get_destination(flow.key)
-            flow.true_destination = destination
-            self._load.flow_started(destination)
-            if getattr(self.lb, "note_flow_start", None) is not None:
-                self.lb.note_flow_start(destination)
-            self._flows_by_server.setdefault(destination, set()).add(flow)
+            self._dispatch_first_packet(flow)
         else:
             destination = self.lb.get_destination(flow.key)
             if destination != flow.true_destination:
-                # PCC violation: the connection is reset by the new backend.
-                flow.broken = True
-                self.result.pcc_violations += 1
-                if self._now - self._last_fault_time <= self._fault_window:
-                    self.result.violations_under_fault += 1
-                self._retire(flow)
+                self._break_flow(flow)
                 return
+        self._advance_flow(flow)
+
+    def _on_packet_batch(self, flows: List[Flow]) -> None:
+        """Drain a run of same-timestamp packet events through the LB's
+        batch path.
+
+        First packets keep the scalar path (they may involve load-aware
+        placement and flow-start notifications); packets of established
+        flows are dispatched in one ``get_destinations_batch`` call.
+        Same-timestamp flows have distinct keys (the workload generator
+        guarantees key uniqueness), so regrouping them cannot change any
+        destination the scalar order would have produced.
+        """
+        established: List[Flow] = []
+        for flow in flows:
+            if flow.broken:
+                continue
+            self.result.packets_processed += 1
+            if flow.true_destination is None:
+                self._dispatch_first_packet(flow)
+                self._advance_flow(flow)
+            else:
+                established.append(flow)
+        if not established:
+            return
+        keys = np.fromiter(
+            (flow.key for flow in established), dtype=np.uint64, count=len(established)
+        )
+        destinations = self.lb.get_destinations_batch(keys)
+        for flow, destination in zip(established, destinations):
+            if flow.broken:
+                # Defensive: each flow has at most one packet event in the
+                # heap (the next is pushed only while processing the current
+                # one), so nothing in this batch can have broken it already.
+                continue
+            if destination != flow.true_destination:
+                self._break_flow(flow)
+            else:
+                self._advance_flow(flow)
+
+    def _dispatch_first_packet(self, flow: Flow) -> None:
+        # First packet (TCP SYN): load-aware LBs may run their
+        # new-connection placement here (Section 6.3).
+        if self._syn_aware:
+            destination = self.lb.get_destination(flow.key, True)
+        else:
+            destination = self.lb.get_destination(flow.key)
+        flow.true_destination = destination
+        self._load.flow_started(destination)
+        if self._note_flow_start is not None:
+            self._note_flow_start(destination)
+        self._flows_by_server.setdefault(destination, set()).add(flow)
+
+    def _break_flow(self, flow: Flow) -> None:
+        # PCC violation: the connection is reset by the new backend.
+        flow.broken = True
+        self.result.pcc_violations += 1
+        if self._now - self._last_fault_time <= self._fault_window:
+            self.result.violations_under_fault += 1
+        self._retire(flow)
+
+    def _advance_flow(self, flow: Flow) -> None:
         flow.next_packet += 1
         if flow.next_packet < len(flow.packet_times):
             self._push(flow.packet_times[flow.next_packet], _PACKET, flow)
@@ -255,8 +318,8 @@ class EventDrivenSimulation:
         """Remove a finished/broken flow from load accounting."""
         if flow.true_destination is not None:
             self._load.flow_ended(flow.true_destination)
-            if getattr(self.lb, "note_flow_end", None) is not None:
-                self.lb.note_flow_end(flow.true_destination)
+            if self._note_flow_end is not None:
+                self._note_flow_end(flow.true_destination)
             bucket = self._flows_by_server.get(flow.true_destination)
             if bucket is not None:
                 bucket.discard(flow)
@@ -295,7 +358,13 @@ class EventDrivenSimulation:
         self.result.sample_times.append(now)
         if tracked > self.result.peak_tracked:
             self.result.peak_tracked = tracked
-        self._push(now + self.sample_interval, _SAMPLE)
+        # Re-arm only while the next sample still lands inside the run:
+        # an unconditional re-push leaks one past-the-end event per run
+        # and, worse, kept the sample chain alive in the heap on long
+        # simulations.  Samples processed are identical either way (the
+        # loop drops events past duration_s).
+        if now + self.sample_interval <= self.duration_s:
+            self._push(now + self.sample_interval, _SAMPLE)
 
     def _finalize(self) -> None:
         result = self.result

@@ -57,6 +57,8 @@ class SimulationConfig:
     seed: int = 0
     sample_interval: float = 1.0
     warmup_s: Optional[float] = None  # balance-metric warmup; default 20%
+    # Drain same-timestamp packet events through the LB's batch path.
+    coalesce_packets: bool = False
     arrival_rate: Optional[float] = None  # derived if None
     size_dist: Optional[Distribution] = None
     duration_dist: Optional[Distribution] = None
@@ -145,6 +147,7 @@ def run_simulation(config: SimulationConfig) -> SimResult:
         sample_interval=config.sample_interval,
         warmup_s=config.warmup_s,
         injector=injector,
+        coalesce_packets=config.coalesce_packets,
     )
     return sim.run()
 

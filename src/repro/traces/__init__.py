@@ -11,7 +11,7 @@ from repro.traces.synthetic_dc import (
     ny18_like,
     uni1_like,
 )
-from repro.traces.replay import ReplayResult, TraceEvent, replay
+from repro.traces.replay import ReplayResult, TraceEvent, replay, replay_batch
 from repro.traces.io import cached_trace, load_trace, save_trace
 from repro.traces.from_pcap import trace_from_pcap
 
@@ -27,6 +27,7 @@ __all__ = [
     "NY18_FLOWS",
     "NY18_PACKETS",
     "replay",
+    "replay_batch",
     "ReplayResult",
     "TraceEvent",
     "save_trace",

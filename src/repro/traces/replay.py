@@ -25,6 +25,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.interfaces import LoadBalancer, Name
 from repro.traces.base import Trace
 
@@ -117,6 +119,18 @@ def replay(
                     inevitable += 1
         wall = time.perf_counter() - started
 
+    return _build_result(trace, balancer, first_destination, violations, inevitable, wall)
+
+
+def _build_result(
+    trace: Trace,
+    balancer: LoadBalancer,
+    first_destination: List[Optional[Name]],
+    violations: int,
+    inevitable: int,
+    wall: float,
+) -> ReplayResult:
+    """Fold per-flow destinations into the ReplayResult metrics."""
     loads: Dict[Name, int] = {}
     for destination in first_destination:
         if destination is not None:
@@ -139,3 +153,76 @@ def replay(
         inevitably_broken=inevitable,
         server_loads=loads,
     )
+
+
+DEFAULT_CHUNK = 8192
+
+
+def replay_batch(
+    trace: Trace,
+    balancer: LoadBalancer,
+    events: Sequence[TraceEvent] = (),
+    chunk_size: int = DEFAULT_CHUNK,
+) -> ReplayResult:
+    """Replay ``trace`` through the LB's batched dispatch path.
+
+    Packets are drained in chunks of ``chunk_size`` through
+    :meth:`~repro.core.interfaces.LoadBalancer.get_destinations_batch`;
+    chunks are split at every injected event's packet index so each
+    backend change still lands *between* batches, exactly where the
+    scalar loop applies it.  Metrics (violations, loads, tracked count)
+    are identical to :func:`replay` -- within a chunk no backend changes,
+    so a flow's destination cannot move mid-chunk and per-packet PCC
+    accounting commutes with batching.  Only the wall-clock rate differs.
+
+    SYN-aware balancers (Section 6.3) need a per-packet new-connection
+    flag, so they are delegated to the scalar loop unchanged.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if getattr(balancer, "dispatches_new_connections", False):
+        return replay(trace, balancer, events)
+
+    keys = np.ascontiguousarray(trace.flow_keys, dtype=np.uint64)
+    packets = trace.packets
+    n_packets = len(packets)
+    first_destination: List[Optional[Name]] = [None] * trace.n_flows
+    broken = bytearray(trace.n_flows)
+    violations = 0
+    inevitable = 0
+    # The scalar hot path (no events) skips the working-set check and
+    # counts every mid-flow move as a violation; mirror that exactly.
+    check_working = bool(events)
+
+    event_queue = sorted(events, key=lambda ev: ev[0])
+    next_event = 0
+    note_flow_start = getattr(balancer, "note_flow_start", None)
+
+    started = time.perf_counter()
+    position = 0
+    while position < n_packets:
+        while next_event < len(event_queue) and event_queue[next_event][0] <= position:
+            event_queue[next_event][1](balancer)
+            next_event += 1
+        end = min(position + chunk_size, n_packets)
+        if next_event < len(event_queue):
+            end = min(end, event_queue[next_event][0])
+        flow_indices = packets[position:end]
+        destinations = balancer.get_destinations_batch(keys[flow_indices])
+        for i, flow_index in enumerate(flow_indices.tolist()):
+            destination = destinations[i]
+            previous = first_destination[flow_index]
+            if previous is None:
+                first_destination[flow_index] = destination
+                if note_flow_start is not None:
+                    note_flow_start(destination)
+            elif destination != previous and not broken[flow_index]:
+                broken[flow_index] = 1
+                if not check_working or previous in balancer.working:
+                    violations += 1
+                else:
+                    inevitable += 1
+        position = end
+    wall = time.perf_counter() - started
+
+    return _build_result(trace, balancer, first_destination, violations, inevitable, wall)

@@ -1,0 +1,379 @@
+"""Differential tests for the batched dataplane.
+
+The scalar path is the executable spec: every batch entry point
+(CH ``lookup_batch``/``lookup_with_safety_batch``, CT ``get_batch``/
+``put_batch``, LB ``get_destinations_batch``, ``replay_batch``, and the
+engine's packet-coalescing mode) must reproduce the scalar results
+key-for-key -- destinations, unsafe flags, post-batch CT state, and
+replay/simulation metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ch import EXTENSION_FAMILIES, JET_FAMILIES, MaglevHash
+from repro.ch.properties import sample_keys
+from repro.core import (
+    JETLoadBalancer,
+    StatelessLoadBalancer,
+    make_ch,
+    make_full_ct,
+    make_jet,
+)
+from repro.ct import LRUCT, UnboundedCT
+from repro.sim import (
+    EventDrivenSimulation,
+    SimulationConfig,
+    WorkloadGenerator,
+    build_balancer,
+    hadoop_flow_duration,
+    hadoop_flow_size,
+    run_simulation,
+    server_downtime,
+)
+from repro.traces import replay, replay_batch, zipf_trace
+
+WORKING = [f"w{i}" for i in range(12)]
+HORIZON = [f"h{i}" for i in range(4)]
+ALL_FAMILIES = sorted(JET_FAMILIES) + sorted(EXTENSION_FAMILIES)
+
+KEYS = np.array(sample_keys(1500, seed=7), dtype=np.uint64)
+
+
+def build(family):
+    """Fresh test-sized CH of the given family."""
+    kwargs = {}
+    if family == "table":
+        kwargs["rows"] = 389
+    elif family == "anchor":
+        kwargs["capacity"] = 4 * (len(WORKING) + len(HORIZON))
+    elif family in ("ring", "ring-incremental"):
+        kwargs["virtual_nodes"] = 20
+    return make_ch(family, WORKING, HORIZON, **kwargs)
+
+
+def assert_batch_matches_scalar(ch, keys):
+    """Batch results must equal the scalar loop, key for key."""
+    destinations, unsafe = ch.lookup_with_safety_batch(keys)
+    expected = [ch.lookup_with_safety(int(k)) for k in keys]
+    assert list(destinations) == [d for d, _ in expected]
+    assert unsafe.dtype == bool
+    assert unsafe.tolist() == [u for _, u in expected]
+    # lookup_batch is the destination column of the same computation.
+    assert list(ch.lookup_batch(keys)) == [d for d, _ in expected]
+
+
+@pytest.fixture(params=ALL_FAMILIES)
+def family(request):
+    return request.param
+
+
+class TestCHBatch:
+    def test_matches_scalar(self, family):
+        assert_batch_matches_scalar(build(family), KEYS)
+
+    def test_empty_batch(self, family):
+        ch = build(family)
+        destinations, unsafe = ch.lookup_with_safety_batch(np.empty(0, dtype=np.uint64))
+        assert len(destinations) == 0
+        assert len(unsafe) == 0
+        assert len(ch.lookup_batch(np.empty(0, dtype=np.uint64))) == 0
+
+    def test_single_key_batch(self, family):
+        ch = build(family)
+        assert_batch_matches_scalar(ch, KEYS[:1])
+
+    def test_matches_scalar_after_churn(self, family):
+        ch = build(family)
+        # Retire one working server, re-check, re-admit, re-check.  Jump's
+        # horizon is a stack, so the retired server is also the only
+        # admissible one; other families can admit any horizon member.
+        victim = WORKING[-1]
+        admit = victim if family == "jump" else HORIZON[0]
+        ch.remove_working(victim)
+        assert_batch_matches_scalar(ch, KEYS[:600])
+        ch.add_working(admit)
+        assert_batch_matches_scalar(ch, KEYS[:600])
+
+    def test_accepts_plain_int_lists(self, family):
+        ch = build(family)
+        ints = [int(k) for k in KEYS[:32]]
+        destinations, _ = ch.lookup_with_safety_batch(ints)
+        assert list(destinations) == [ch.lookup(k) for k in ints]
+
+
+def test_maglev_default_lookup_batch():
+    """Maglev has no override; the inherited fallback must still match."""
+    ch = MaglevHash(WORKING, table_size=251)
+    out = ch.lookup_batch(KEYS[:500])
+    assert list(out) == [ch.lookup(int(k)) for k in KEYS[:500]]
+
+
+class TestCTBatch:
+    def test_unbounded_batch_matches_scalar_twin(self):
+        batched, scalar = UnboundedCT(), UnboundedCT()
+        keys = KEYS[:400]
+        destinations = np.array([int(k) % 7 for k in keys], dtype=object)
+        batched.put_batch(keys, destinations)
+        for k, d in zip(keys.tolist(), destinations):
+            scalar.put(k, d)
+        probe = np.concatenate(
+            [keys[:200], np.array(sample_keys(200, seed=8), dtype=np.uint64)]
+        )
+        got = batched.get_batch(probe)
+        expected = [scalar.get(int(k)) for k in probe.tolist()]
+        assert list(got) == expected
+        assert dict(batched.items()) == dict(scalar.items())
+        assert batched.stats == scalar.stats
+
+    def test_bounded_fallback_preserves_eviction_order(self):
+        # LRUCT keeps batch_reorder_safe=False, so the default loops run;
+        # the recency order (and therefore who got evicted) must be
+        # byte-identical to the interleaved scalar sequence.
+        assert not LRUCT.batch_reorder_safe
+        batched, scalar = LRUCT(capacity=16), LRUCT(capacity=16)
+        keys = KEYS[:64]
+        destinations = np.array([int(k) % 5 for k in keys], dtype=object)
+        batched.put_batch(keys, destinations)
+        batched.get_batch(keys[10:40])
+        batched.put_batch(keys[:8], destinations[:8])
+        for k, d in zip(keys.tolist(), destinations):
+            scalar.put(k, d)
+        for k in keys[10:40].tolist():
+            scalar.get(k)
+        for k, d in zip(keys[:8].tolist(), destinations[:8]):
+            scalar.put(k, d)
+        assert list(batched.items()) == list(scalar.items())
+        assert batched.stats == scalar.stats
+
+
+def _lb_pair(maker):
+    """Two identically configured balancers: one driven batched, one scalar."""
+    return maker(), maker()
+
+
+def assert_lb_batch_matches(batched, scalar, keys):
+    got = batched.get_destinations_batch(keys)
+    expected = [scalar.get_destination(int(k)) for k in keys.tolist()]
+    assert list(got) == expected
+    assert dict(batched.ct.items()) == dict(scalar.ct.items())
+
+
+class TestLBBatch:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_jet_batch_matches_scalar_twin(self, family):
+        batched, scalar = _lb_pair(lambda: make_jet(family, WORKING, HORIZON))
+        assert_lb_batch_matches(batched, scalar, KEYS[:800])
+        # Second batch re-reads the CT entries populated by the first.
+        assert_lb_batch_matches(batched, scalar, KEYS[:800])
+        assert batched.ct.stats == scalar.ct.stats
+
+    def test_jet_batch_with_duplicate_keys(self):
+        batched, scalar = _lb_pair(lambda: make_jet("hrw", WORKING, HORIZON))
+        keys = np.concatenate([KEYS[:300], KEYS[:300], KEYS[100:200]])
+        # Destinations and the CT mapping must agree even when a key
+        # repeats within one batch (stats may differ: the scalar twin
+        # hits the CT on the repeat, the batch path re-looks it up).
+        assert_lb_batch_matches(batched, scalar, keys)
+
+    def test_jet_batch_after_backend_churn(self):
+        batched, scalar = _lb_pair(lambda: make_jet("table", WORKING, HORIZON, rows=389))
+        assert_lb_batch_matches(batched, scalar, KEYS[:500])
+        for lb in (batched, scalar):
+            lb.remove_working_server(WORKING[3])
+            lb.add_working_server(HORIZON[0])
+        assert_lb_batch_matches(batched, scalar, KEYS[:500])
+
+    def test_jet_bounded_ct_falls_back_to_scalar(self):
+        batched, scalar = _lb_pair(
+            lambda: make_jet("hrw", WORKING, HORIZON, ct=LRUCT(capacity=32))
+        )
+        assert_lb_batch_matches(batched, scalar, KEYS[:400])
+        # Fallback must preserve the LRU recency order exactly.
+        assert list(batched.ct.items()) == list(scalar.ct.items())
+        assert batched.ct.stats == scalar.ct.stats
+
+    def test_jet_lazy_cleanup_falls_back_to_scalar(self):
+        def maker():
+            return JETLoadBalancer(build("hrw"), UnboundedCT(), active_cleanup=False)
+
+        batched, scalar = _lb_pair(maker)
+        assert_lb_batch_matches(batched, scalar, KEYS[:400])
+        # Stale entries (lazy cleanup) are the reason this config must
+        # take the scalar loop: per-key validation interleaves deletes.
+        for lb in (batched, scalar):
+            lb.remove_working_server(WORKING[5])
+        assert_lb_batch_matches(batched, scalar, KEYS[:400])
+        assert batched.ct.stats == scalar.ct.stats
+
+    @pytest.mark.parametrize("family", ["maglev", "table"])
+    def test_full_ct_batch_matches_scalar_twin(self, family):
+        kwargs = {"table_size": 251} if family == "maglev" else {"rows": 389}
+        batched, scalar = _lb_pair(
+            lambda: make_full_ct(family, WORKING, **kwargs)
+        )
+        assert_lb_batch_matches(batched, scalar, KEYS[:600])
+        assert_lb_batch_matches(batched, scalar, KEYS[:600])
+        assert batched.ct.stats == scalar.ct.stats
+
+    def test_stateless_batch_matches_scalar_twin(self):
+        batched, scalar = _lb_pair(lambda: StatelessLoadBalancer(build("table")))
+        keys = KEYS[:600]
+        got = batched.get_destinations_batch(keys)
+        assert list(got) == [scalar.get_destination(int(k)) for k in keys.tolist()]
+
+    def test_empty_batch(self):
+        lb = make_jet("hrw", WORKING, HORIZON)
+        assert len(lb.get_destinations_batch(np.empty(0, dtype=np.uint64))) == 0
+
+
+def _replay_fields(result):
+    """The deterministic ReplayResult fields (rate/wall excluded)."""
+    return (
+        result.pcc_violations,
+        result.inevitably_broken,
+        result.tracked_connections,
+        result.max_oversubscription,
+        result.server_loads,
+        result.n_flows,
+        result.n_packets,
+    )
+
+
+class TestReplayBatch:
+    TRACE = zipf_trace(skew=1.0, n_packets=20_000, population=4_000, seed=11)
+
+    def test_matches_scalar_without_events(self):
+        scalar = replay(self.TRACE, make_jet("table", WORKING, HORIZON, rows=389))
+        batched = replay_batch(self.TRACE, make_jet("table", WORKING, HORIZON, rows=389))
+        assert _replay_fields(batched) == _replay_fields(scalar)
+
+    def test_matches_scalar_with_events(self):
+        def events():
+            return [
+                (5_000, lambda lb: lb.remove_working_server(WORKING[2])),
+                (12_000, lambda lb: lb.add_working_server(HORIZON[0])),
+            ]
+
+        scalar = replay(self.TRACE, make_jet("hrw", WORKING, HORIZON), events())
+        batched = replay_batch(self.TRACE, make_jet("hrw", WORKING, HORIZON), events())
+        assert _replay_fields(batched) == _replay_fields(scalar)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100_000])
+    def test_chunk_size_edges(self, chunk_size):
+        scalar = replay(self.TRACE, StatelessLoadBalancer(build("hrw")))
+        batched = replay_batch(
+            self.TRACE, StatelessLoadBalancer(build("hrw")), chunk_size=chunk_size
+        )
+        assert _replay_fields(batched) == _replay_fields(scalar)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            replay_batch(self.TRACE, StatelessLoadBalancer(build("hrw")), chunk_size=0)
+
+
+class QuantizedWorkload(WorkloadGenerator):
+    """Workload with all event times floored to a coarse tick.
+
+    The base generator draws continuous times, so exact same-timestamp
+    packet ties (what the engine's coalescing mode batches) almost never
+    occur.  Flooring arrival gaps and per-flow packet offsets onto a grid
+    makes ties abundant while keeping every packet inside its flow's
+    lifetime (floor never moves a time later).
+    """
+
+    TICK = 0.05
+
+    def next_arrival_gap(self):
+        gap = super().next_arrival_gap()
+        return max(self.TICK, int(gap / self.TICK) * self.TICK)
+
+    def make_flow(self, now):
+        flow = super().make_flow(now)
+        tick = self.TICK
+        flow.packet_times = [
+            now + int((t - now) / tick) * tick for t in flow.packet_times
+        ]
+        return flow
+
+
+class TestEngineCoalescing:
+    CONFIG = SimulationConfig(
+        duration_s=30.0,
+        n_servers=8,
+        horizon_size=2,
+        update_rate_per_min=20.0,
+        mode="jet",
+        ch_family="table",
+        ch_kwargs={"rows": 389},
+        seed=3,
+    )
+
+    def _run(self, coalesce):
+        balancer, working, standby = build_balancer(self.CONFIG)
+        workload = QuantizedWorkload(
+            arrival_rate=30.0,
+            size_dist=hadoop_flow_size(),
+            duration_dist=hadoop_flow_duration(),
+            seed=self.CONFIG.seed,
+        )
+        sim = EventDrivenSimulation(
+            balancer=balancer,
+            workload=workload,
+            working_servers=working,
+            standby_servers=standby,
+            duration_s=self.CONFIG.duration_s,
+            update_rate_per_min=self.CONFIG.update_rate_per_min,
+            downtime_dist=server_downtime(),
+            seed=self.CONFIG.seed,
+            coalesce_packets=coalesce,
+        )
+        batch_sizes = []
+        original = balancer.get_destinations_batch
+
+        def spy(keys):
+            batch_sizes.append(len(keys))
+            return original(keys)
+
+        balancer.get_destinations_batch = spy
+        return sim.run(), batch_sizes
+
+    def test_coalesced_run_matches_scalar_run(self):
+        scalar, _ = self._run(coalesce=False)
+        coalesced, batch_sizes = self._run(coalesce=True)
+        # The quantized workload must actually produce multi-packet ties,
+        # otherwise this test proves nothing.
+        assert batch_sizes and max(batch_sizes) >= 2
+        for field in (
+            "pcc_violations",
+            "inevitably_broken",
+            "flows_started",
+            "flows_completed",
+            "packets_processed",
+            "removals",
+            "additions",
+            "peak_tracked",
+            "final_tracked",
+            "tracked_series",
+            "sample_times",
+            "oversubscription_series",
+            "max_oversubscription",
+        ):
+            assert getattr(coalesced, field) == getattr(scalar, field), field
+
+
+def test_samples_stop_at_duration():
+    """_on_sample must not re-push sample events past the horizon of the
+    run; every recorded sample time stays within duration_s."""
+    result = run_simulation(
+        SimulationConfig(
+            duration_s=5.0,
+            connection_rate=50.0,
+            n_servers=4,
+            horizon_size=1,
+            update_rate_per_min=0.0,
+            sample_interval=1.0,
+            seed=1,
+        )
+    )
+    assert result.sample_times == [1.0, 2.0, 3.0, 4.0, 5.0]
