@@ -77,6 +77,8 @@ def _make_ch(family):
         kwargs["rows"] = rows_for(N)
     if family == "anchor":
         kwargs["capacity"] = 2 * (N + H_SIZE)
+    if family == "maglev":
+        return make_ch(family, WORKING, table_size=65537)
     return make_ch(family, WORKING, HORIZON, **kwargs)
 
 
@@ -96,28 +98,62 @@ def test_ch_scalar_safety_rate(benchmark, family):
 @pytest.mark.parametrize("family", ["hrw", "ring", "table", "anchor", "jump", "modulo"])
 def test_ch_batch_safety_rate(benchmark, family):
     """Batched dataplane: the same keys in one lookup_with_safety_batch
-    call (vectorized for hrw/table/jump/modulo, scalar fallback for
-    ring/anchor -- the pairing with the scalar case above is what makes
-    the speedup visible in the timing table)."""
+    call -- every family now carries a real numpy kernel (searchsorted
+    gathers for ring, active-mask wandering for anchor, argmax weights
+    for hrw, table gathers for table-HRW); the pairing with the scalar
+    case above is what makes the speedup visible in the timing table."""
     ch = _make_ch(family)
     benchmark(ch.lookup_with_safety_batch, KEYS_ARR)
 
 
-@pytest.mark.parametrize("family", ["hrw", "table"])
+def test_ch_scalar_maglev_rate(benchmark):
+    """Scalar Maglev reference (no safety variant, Section 3.6)."""
+    ch = _make_ch("maglev")
+
+    def scalar():
+        lookup = ch.lookup
+        for k in KEYS:
+            lookup(k)
+
+    benchmark(scalar)
+
+
+def test_ch_batch_maglev_rate(benchmark):
+    """Maglev's batch kernel: two fancy-indexed gathers per batch."""
+    ch = _make_ch("maglev")
+    benchmark(ch.lookup_batch, KEYS_ARR)
+
+
+@pytest.mark.parametrize("family", ["hrw", "ring", "table", "anchor"])
 def test_jet_batch_dispatch_rate(benchmark, family):
     """Full LB batch path: CT mask + vectorized CH + batch insert."""
-    kwargs = {"rows": rows_for(N)} if family == "table" else {}
+    kwargs = {}
+    if family == "table":
+        kwargs["rows"] = rows_for(N)
+    if family == "anchor":
+        kwargs["capacity"] = 2 * (N + H_SIZE)
     lb = make_jet(family, WORKING, HORIZON, **kwargs)
     lb.get_destinations_batch(KEYS_ARR)  # warm the CT with the unsafe keys
     benchmark(lb.get_destinations_batch, KEYS_ARR)
 
 
-def test_dataplane_speedup_report(once):
+def test_full_ct_maglev_batch_dispatch_rate(benchmark):
+    """The PR 2 regression case: full-CT over Maglev now rides the int32
+    table kernel instead of paying batch bookkeeping for a scalar loop."""
+    lb = make_full_ct("maglev", WORKING, table_size=65537)
+    lb.get_destinations_batch(KEYS_ARR)  # warm: every key tracked
+    benchmark(lb.get_destinations_batch, KEYS_ARR)
+
+
+def test_dataplane_speedup_report(once, batch_sizes):
     """Run the throughput experiment's CH sweep and publish the
-    machine-readable speedup artifact (BENCH_dataplane.json)."""
+    machine-readable speedup artifact (BENCH_dataplane.json).  Pass
+    ``--batch-sizes 256,10000`` to sweep batch sizes (one JSON row per
+    family per size)."""
     from repro.experiments import throughput
 
-    payload = once(throughput.run_throughput, "smoke")
+    sizes = batch_sizes or [throughput.BATCH_SIZE]
+    payload = once(throughput.run_throughput, "smoke", 1, sizes)
     path = Path(__file__).resolve().parents[1] / "BENCH_dataplane.json"
     throughput.write_json(payload, str(path))
     reporting.record("batched dataplane speedups", throughput.format_report(payload))

@@ -15,7 +15,13 @@ Full-CT only (implements plain :class:`~repro.ch.base.ConsistentHash`):
   (Section 3.6).
 """
 
-from repro.ch.base import BackendError, ConsistentHash, HorizonConsistentHash, Name
+from repro.ch.base import (
+    BackendError,
+    ConsistentHash,
+    HorizonConsistentHash,
+    Name,
+    has_batch_kernel,
+)
 from repro.ch.hrw import HRWHash
 from repro.ch.ring import RingHash
 from repro.ch.ring_incremental import IncrementalRingHash
@@ -50,6 +56,7 @@ __all__ = [
     "ConsistentHash",
     "HorizonConsistentHash",
     "Name",
+    "has_batch_kernel",
     "HRWHash",
     "RingHash",
     "IncrementalRingHash",

@@ -43,14 +43,19 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.ch.base import BackendError, HorizonConsistentHash, Name
 from repro.hashing.mix import MASK64, fmix64, mix2
+from repro.hashing.vector import _SM_GAMMA, v_fmix64
+
+_JUMP_SALT = 0x5851_F42D_4C95_7F2D
 
 
 class AnchorBuckets:
     """The bucket layer: AnchorHash Algorithm 2 (INIT/GET/ADD/REMOVE)."""
 
-    __slots__ = ("capacity", "A", "K", "W", "L", "R", "N")
+    __slots__ = ("capacity", "A", "K", "W", "L", "R", "N", "_mix")
 
     def __init__(self, capacity: int, initial_working: int):
         if not 0 < initial_working <= capacity:
@@ -62,6 +67,7 @@ class AnchorBuckets:
         self.L: List[int] = list(range(capacity))
         self.R: List[int] = []  # removal stack; top is R[-1]
         self.N = capacity
+        self._mix: Optional[np.ndarray] = None  # per-bucket fmix64(b ^ salt)
         for bucket in range(capacity - 1, initial_working - 1, -1):
             self.R.append(bucket)
             self.A[bucket] = bucket
@@ -70,7 +76,7 @@ class AnchorBuckets:
     # ------------------------------------------------------------ paths
     def _jump(self, bucket: int, key_hash: int) -> int:
         """``h_b(k)``: re-hash ``k`` into ``{0, ..., A[b]-1}``."""
-        return mix2(fmix64(bucket ^ 0x5851_F42D_4C95_7F2D), key_hash) % self.A[bucket]
+        return mix2(fmix64(bucket ^ _JUMP_SALT), key_hash) % self.A[bucket]
 
     def get_path(self, key_hash: int) -> Tuple[int, Optional[int]]:
         """GETBUCKET returning ``(bucket, penultimate)``.
@@ -95,6 +101,41 @@ class AnchorBuckets:
 
     def get(self, key_hash: int) -> int:
         return self.get_path(key_hash)[0]
+
+    def get_path_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized GETBUCKET over a uint64 key array.
+
+        Returns ``(buckets, penultimates)`` with ``penultimate == -1``
+        standing in for the scalar path's ``None``.  The wandering loop
+        runs jump-style: an *active* index set shrinks as keys reach
+        working buckets, and the inner ``K``-chase is its own shrinking
+        mask -- every arithmetic step is the uint64 twin of the scalar
+        walk, so the result is bit-identical key for key.
+        """
+        if self.N == 0:
+            raise BackendError("lookup with no working buckets")
+        A = np.asarray(self.A, dtype=np.int64)
+        K = np.asarray(self.K, dtype=np.int64)
+        if self._mix is None:
+            ids = np.arange(self.capacity, dtype=np.uint64) ^ np.uint64(_JUMP_SALT)
+            self._mix = v_fmix64(ids)
+        b = (keys % np.uint64(self.capacity)).astype(np.int64)
+        penultimate = np.full(len(keys), -1, dtype=np.int64)
+        active = np.flatnonzero(A[b] > 0)  # keys sitting on a removed bucket
+        with np.errstate(over="ignore"):
+            while active.size:
+                ba = b[active]
+                ab = A[ba]
+                penultimate[active] = ba
+                hashed = v_fmix64(self._mix[ba] * _SM_GAMMA + keys[active])
+                h = (hashed % ab.astype(np.uint64)).astype(np.int64)
+                chase = np.flatnonzero(A[h] >= ab)  # W_b ⊆ W_h: follow K
+                while chase.size:
+                    h[chase] = K[h[chase]]
+                    chase = chase[A[h[chase]] >= ab[chase]]
+                b[active] = h
+                active = active[A[h] > 0]
+        return b, penultimate
 
     # --------------------------------------------------------- mutation
     def add(self) -> int:
@@ -204,6 +245,29 @@ class AnchorHash(HorizonConsistentHash):
         # hold the consecutive A values N, ..., N + |H| - 1.
         unsafe = self._buckets.A[penultimate] < self._buckets.N + len(self._horizon_names)
         return name, unsafe
+
+    def lookup_with_safety_batch(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized Algorithm 5: one :meth:`AnchorBuckets.get_path_batch`
+        wandering pass plus a gather through the bucket->name table; the
+        safety test is the same single ``A[penultimate]`` comparison,
+        applied where a removed bucket was visited at all."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        buckets, penultimate = self._buckets.get_path_batch(keys)
+        names = np.empty(self._buckets.capacity, dtype=object)
+        for bucket, name in self._name_of.items():
+            names[bucket] = name
+        destinations = names[buckets]
+        unsafe = np.zeros(len(keys), dtype=bool)
+        walked = penultimate >= 0
+        if walked.any():
+            A = np.asarray(self._buckets.A, dtype=np.int64)
+            boundary = self._buckets.N + len(self._horizon_names)
+            unsafe[walked] = A[penultimate[walked]] < boundary
+        return destinations, unsafe
 
     def lookup_union(self, key_hash: int) -> Name:
         """Destination once the whole horizon is admitted (canonical LIFO

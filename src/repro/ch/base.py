@@ -178,3 +178,24 @@ class HorizonConsistentHash(ConsistentHash):
         joins, in the canonical order.  Reference implementation used by
         property tests; subclasses may override with a faster version."""
         raise NotImplementedError
+
+
+def has_batch_kernel(ch: ConsistentHash) -> bool:
+    """True iff ``ch`` overrides its batch lookup with real vector code.
+
+    The capability probe behind the never-slower batch contract: the
+    default batch methods are scalar loops plus array packing, so driving
+    them through batch plumbing (mask bookkeeping, array splits) can only
+    lose time.  Callers probe once -- per balancer construction or per
+    replay -- and route non-vectorized stacks straight through the scalar
+    path.  Horizon hashes are judged on ``lookup_with_safety_batch``
+    (their ``lookup_batch`` merely discards the safety bit); plain hashes
+    on ``lookup_batch``.
+    """
+    cls = type(ch)
+    if isinstance(ch, HorizonConsistentHash):
+        return (
+            cls.lookup_with_safety_batch
+            is not HorizonConsistentHash.lookup_with_safety_batch
+        )
+    return cls.lookup_batch is not ConsistentHash.lookup_batch

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional
 
+import numpy as np
+
 from repro.ch.base import BackendError, ConsistentHash, Name
 from repro.hashing.fnv import fnv1a64
 from repro.hashing.keyed import server_seed
@@ -46,6 +48,10 @@ class MaglevHash(ConsistentHash):
         self.table_size = table_size
         self._perm_params: Dict[Name, tuple] = {}
         self._table: List[Optional[Name]] = [None] * table_size
+        # Batch kernel twins of _table: an int32 row->backend index array
+        # over a compact object array of names (see _populate).
+        self._table_idx = np.full(table_size, -1, dtype=np.int32)
+        self._names_obj = np.empty(0, dtype=object)
         for name in working:
             self._register(name)
         self._populate()
@@ -61,6 +67,18 @@ class MaglevHash(ConsistentHash):
         if name is None:
             raise BackendError("lookup on empty working set")
         return name
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized table walk -- ``names[table[keys % size]]``, the same
+        row-gather the Maglev dataplane performs per packet (NSDI'16), so
+        the batch path is two fancy-indexed gathers for any batch size."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=object)
+        if not self._perm_params:
+            raise BackendError("lookup on empty working set")
+        rows = (keys % np.uint64(self.table_size)).astype(np.intp)
+        return self._names_obj[self._table_idx[rows]]
 
     def row_counts(self) -> Dict[Name, int]:
         """Rows owned per backend (balance diagnostics)."""
@@ -96,24 +114,32 @@ class MaglevHash(ConsistentHash):
         Deterministic in the *set* of backends (iteration ordered by seed)
         so that all LB replicas agree on the table.
         """
-        table: List[Optional[Name]] = [None] * self.table_size
+        size = self.table_size
+        table_idx = np.full(size, -1, dtype=np.int32)
         if not self._perm_params:
-            self._table = table
+            self._table = [None] * size
+            self._table_idx = table_idx
+            self._names_obj = np.empty(0, dtype=object)
             return
         backends = sorted(self._perm_params.items(), key=lambda kv: server_seed(kv[0]))
+        taken = [False] * size
         next_index = [0] * len(backends)
         filled = 0
-        size = self.table_size
         while filled < size:
             for i, (name, (offset, skip)) in enumerate(backends):
                 j = next_index[i]
                 row = (offset + j * skip) % size
-                while table[row] is not None:
+                while taken[row]:
                     j += 1
                     row = (offset + j * skip) % size
-                table[row] = name
+                taken[row] = True
+                table_idx[row] = i
                 next_index[i] = j + 1
                 filled += 1
                 if filled == size:
                     break
-        self._table = table
+        names_obj = np.empty(len(backends), dtype=object)
+        names_obj[:] = [name for name, _ in backends]
+        self._table_idx = table_idx
+        self._names_obj = names_obj
+        self._table = names_obj[table_idx].tolist()

@@ -15,12 +15,35 @@ The merged ring is rebuilt lazily after backend changes (the paper notes a
 full repopulate per change is acceptable; an incremental variant only
 touches affected successors -- we rebuild, which is simpler and still
 O((|W|+|H|)·V log) per change, amortized over many lookups).
+
+Three lookup data structures are derived from the merged ring and cached
+until the next backend change:
+
+- ``_positions``/``_entries`` -- Python lists used by the scalar path
+  (``bisect_right`` over a list of ints is the fastest scalar search);
+- a numpy kernel (sorted uint64 positions, an int32 entry->server index
+  into a compact object array of names, and a bool track-flag array) that
+  turns ``lookup_with_safety_batch`` into one ``searchsorted`` plus two
+  fancy-indexed gathers -- the same table-gather shape as Maglev's packet
+  dataplane (Eisenbud et al., NSDI'16);
+- a cached *union* ring (every vnode under its own owner) so the scalar
+  ``lookup_union`` is one binary search instead of an O(R log R) rebuild
+  per call.  The union only changes when a server identity enters or
+  leaves the system -- moving between W and H preserves it.
+
+Vnode positions and server seeds are deterministic in the name, so they
+are memoized process-wide (:func:`_server_placement`): churning a server
+out and back in, or rebuilding after every event, never recomputes the
+``virtual_nodes`` hash mixes.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.ch.base import BackendError, HorizonConsistentHash, Name
 from repro.hashing.keyed import server_seed
@@ -29,10 +52,22 @@ from repro.hashing.mix import fmix64, mix2
 DEFAULT_VIRTUAL_NODES = 100
 
 
-def _vnode_positions(name: Name, virtual_nodes: int) -> List[int]:
+#: Memoized server seeds -- every rebuild needs each server's tiebreak
+#: seed, and seeds are pure functions of the name.
+_cached_seed = lru_cache(maxsize=65536)(server_seed)
+
+
+@lru_cache(maxsize=65536)
+def _server_placement(name: Name, virtual_nodes: int) -> Tuple[int, Tuple[int, ...]]:
+    """``(seed, vnode positions)`` of a server -- deterministic in the name,
+    memoized so rebuilds and churned re-registrations never re-mix."""
+    seed = _cached_seed(name)
+    return seed, tuple(mix2(seed, fmix64(replica)) for replica in range(virtual_nodes))
+
+
+def _vnode_positions(name: Name, virtual_nodes: int) -> Sequence[int]:
     """Ring positions of a server's virtual nodes (deterministic in name)."""
-    seed = server_seed(name)
-    return [mix2(seed, fmix64(replica)) for replica in range(virtual_nodes)]
+    return _server_placement(name, virtual_nodes)[1]
 
 
 class RingHash(HorizonConsistentHash):
@@ -47,12 +82,25 @@ class RingHash(HorizonConsistentHash):
         if virtual_nodes < 1:
             raise ValueError("virtual_nodes must be >= 1")
         self.virtual_nodes = virtual_nodes
-        self._working: Dict[Name, List[int]] = {}
-        self._horizon: Dict[Name, List[int]] = {}
+        self._working: Dict[Name, Sequence[int]] = {}
+        self._horizon: Dict[Name, Sequence[int]] = {}
         # Merged ring: parallel arrays sorted by position.
         self._positions: List[int] = []
         self._entries: List[Tuple[Name, bool]] = []
         self._dirty = True
+        # Numpy kernel over the merged ring (see _ensure_kernel).
+        self._kernel_dirty = True
+        self._np_positions = np.empty(0, dtype=np.uint64)
+        self._np_entry_server = np.empty(0, dtype=np.int32)
+        self._np_track = np.empty(0, dtype=bool)
+        self._np_names = np.empty(0, dtype=object)
+        self._np_entry_names = np.empty(0, dtype=object)
+        self._bucket_shift = np.uint64(63)
+        self._bucket_lo = np.zeros(3, dtype=np.intp)
+        # Cached union ring (changes only when an identity joins/leaves).
+        self._union_dirty = True
+        self._union_positions: List[int] = []
+        self._union_names: List[Name] = []
         for name in working:
             self._register(self._working, name)
         for name in horizon:
@@ -67,18 +115,24 @@ class RingHash(HorizonConsistentHash):
     def horizon(self) -> FrozenSet[Name]:
         return frozenset(self._horizon)
 
-    def _register(self, side: Dict[Name, List[int]], name: Name) -> None:
+    def _placement(self, name: Name) -> Sequence[int]:
+        """Vnode positions used for a newly registered server (weighted
+        subclasses override to vary the vnode count per server)."""
+        return _vnode_positions(name, self.virtual_nodes)
+
+    def _register(self, side: Dict[Name, Sequence[int]], name: Name) -> None:
         if name in self._working or name in self._horizon:
             raise BackendError(f"server {name!r} already present")
-        side[name] = _vnode_positions(name, self.virtual_nodes)
+        side[name] = self._placement(name)
         self._dirty = True
+        self._union_dirty = True
 
     # --------------------------------------------------------- populate
     def _rebuild(self) -> None:
         """POPULATERING of Algorithm 3, merged into sorted parallel arrays."""
         ring_w: List[Tuple[int, int, Name]] = []  # (pos, tiebreak, server)
         for name, positions in self._working.items():
-            seed = server_seed(name)
+            seed = _cached_seed(name)
             for pos in positions:
                 ring_w.append((pos, seed, name))
         ring_w.sort()
@@ -91,7 +145,7 @@ class RingHash(HorizonConsistentHash):
             w_positions = [item[0] for item in ring_w]
             n = len(ring_w)
             for name, positions in self._horizon.items():
-                seed = server_seed(name)
+                seed = _cached_seed(name)
                 for pos in positions:
                     successor = ring_w[bisect_right(w_positions, pos) % n][2]
                     merged.append((pos, seed, successor, True))
@@ -99,6 +153,63 @@ class RingHash(HorizonConsistentHash):
         self._positions = [item[0] for item in merged]
         self._entries = [(item[2], item[3]) for item in merged]
         self._dirty = False
+        self._kernel_dirty = True
+
+    def _ensure_kernel(self) -> None:
+        """Materialize the merged ring into the numpy lookup kernel."""
+        if self._dirty:
+            self._rebuild()
+        if not self._kernel_dirty:
+            return
+        n = len(self._positions)
+        self._np_positions = np.array(self._positions, dtype=np.uint64)
+        index_of: Dict[Name, int] = {}
+        names: List[Name] = []
+        entry_server = np.empty(n, dtype=np.int32)
+        track = np.empty(n, dtype=bool)
+        for i, (name, tracked) in enumerate(self._entries):
+            j = index_of.get(name)
+            if j is None:
+                j = index_of[name] = len(names)
+                names.append(name)
+            entry_server[i] = j
+            track[i] = tracked
+        name_array = np.empty(len(names), dtype=object)
+        name_array[:] = names
+        self._np_entry_server = entry_server
+        self._np_track = track
+        self._np_names = name_array
+        # Pre-composed per-entry name gather (entry index -> owner name).
+        self._np_entry_names = name_array[entry_server] if n else np.empty(0, dtype=object)
+        # Quantized-prefix successor index: split the 2^64 ring into M
+        # uniform buckets (M = power of two >= 2 * entries) and record,
+        # per bucket start, the bisect_right insertion point.  A batch
+        # lookup then replaces the branchy binary search with one shift,
+        # one gather, and a short advance loop (uniform hash positions
+        # put ~0.5 entries per bucket, so the loop converges in a step
+        # or two).
+        bits = min(26, max(1, (2 * max(n, 1) - 1).bit_length()))
+        shift = np.uint64(64 - bits)
+        starts = np.arange(1 << bits, dtype=np.uint64) << shift
+        lo = np.searchsorted(self._np_positions, starts, side="left").astype(np.intp)
+        self._bucket_shift = shift
+        self._bucket_lo = np.concatenate([lo, np.array([n], dtype=np.intp)])
+        self._kernel_dirty = False
+
+    def _ensure_union(self) -> None:
+        """Materialize the union ring (every vnode under its own owner)."""
+        if not self._union_dirty:
+            return
+        union: List[Tuple[int, int, Name]] = []
+        for side in (self._working, self._horizon):
+            for name, positions in side.items():
+                seed = _cached_seed(name)
+                for pos in positions:
+                    union.append((pos, seed, name))
+        union.sort()
+        self._union_positions = [item[0] for item in union]
+        self._union_names = [item[2] for item in union]
+        self._union_dirty = False
 
     # ----------------------------------------------------------- lookup
     def lookup_with_safety(self, key_hash: int) -> Tuple[Name, bool]:
@@ -108,6 +219,39 @@ class RingHash(HorizonConsistentHash):
             raise BackendError("lookup on empty working set")
         index = bisect_right(self._positions, key_hash) % len(self._positions)
         return self._entries[index]
+
+    def lookup_with_safety_batch(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized successor search via the quantized-prefix index: each
+        key's high bits select a ring bucket whose ``bisect_right``
+        insertion point was precomputed at kernel build; a short
+        active-mask loop advances past the few in-bucket positions <= key,
+        then two fancy-indexed gathers read the entry's owner name and
+        track flag.  The advance count *is* ``bisect_right`` (number of
+        positions <= key), so the result is bit-identical to the scalar
+        walk -- the differential suites hold it to that key for key."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        if self._dirty:
+            self._rebuild()
+        if not self._working:
+            raise BackendError("lookup on empty working set")
+        self._ensure_kernel()
+        positions = self._np_positions
+        bucket = (keys >> self._bucket_shift).astype(np.intp)
+        index = self._bucket_lo[bucket]
+        hi = self._bucket_lo[bucket + 1]
+        active = np.flatnonzero(index < hi)
+        while active.size:
+            at = index[active]
+            advanced = positions[at] <= keys[active]
+            at = at + advanced  # bool adds as 0/1
+            index[active] = at
+            active = active[advanced & (at < hi[active])]
+        index[index == len(positions)] = 0  # clockwise wrap (mod n)
+        return self._np_entry_names[index], self._np_track[index]
 
     def iter_successors(self, key_hash: int):
         """Yield distinct *working* servers in clockwise ring order from
@@ -132,17 +276,13 @@ class RingHash(HorizonConsistentHash):
 
     def lookup_union(self, key_hash: int) -> Name:
         """Successor over the true union ring of ``W ∪ H`` (reference)."""
-        union: List[Tuple[int, int, Name]] = []
-        for side in (self._working, self._horizon):
-            for name, positions in side.items():
-                seed = server_seed(name)
-                for pos in positions:
-                    union.append((pos, seed, name))
-        if not union:
+        self._ensure_union()
+        if not self._union_positions:
             raise BackendError("lookup on empty server set")
-        union.sort()
-        positions = [item[0] for item in union]
-        return union[bisect_right(positions, key_hash) % len(union)][2]
+        index = bisect_right(self._union_positions, key_hash) % len(
+            self._union_positions
+        )
+        return self._union_names[index]
 
     # --------------------------------------------------------- mutation
     def add_working(self, name: Name) -> None:
@@ -166,3 +306,4 @@ class RingHash(HorizonConsistentHash):
         if self._horizon.pop(name, None) is None:
             raise BackendError(f"server {name!r} is not in the horizon")
         self._dirty = True
+        self._union_dirty = True

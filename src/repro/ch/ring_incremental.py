@@ -26,7 +26,7 @@ from bisect import bisect_left, bisect_right
 from typing import Iterable, List
 
 from repro.ch.base import BackendError, Name
-from repro.ch.ring import RingHash, _vnode_positions
+from repro.ch.ring import RingHash
 
 
 class IncrementalRingHash(RingHash):
@@ -84,6 +84,7 @@ class IncrementalRingHash(RingHash):
             # absent from the merged ring; rebuild from scratch lazily.
             self._dirty = True
             return
+        self._kernel_dirty = True  # merged ring edited in place below
         for pos in sorted(positions):
             index = self._merged_index(pos)
             if self._w_pos:
@@ -114,6 +115,7 @@ class IncrementalRingHash(RingHash):
         if not self._w_pos:
             self._dirty = True  # empty working set: rebuild lazily
             return
+        self._kernel_dirty = True  # merged ring edited in place below
         for pos in sorted(positions):
             index = self._merged_index(pos)
             successor = self._w_srv[bisect_right(self._w_pos, pos) % len(self._w_pos)]
@@ -128,11 +130,13 @@ class IncrementalRingHash(RingHash):
         self._ensure_clean()
         if name in self._working or name in self._horizon:
             raise BackendError(f"server {name!r} already present")
-        positions = _vnode_positions(name, self.virtual_nodes)
+        positions = self._placement(name)
         self._horizon[name] = positions
+        self._union_dirty = True
         if not self._w_pos:
             self._dirty = True
             return
+        self._kernel_dirty = True  # merged ring edited in place below
         for pos in positions:
             successor = self._w_srv[bisect_right(self._w_pos, pos) % len(self._w_pos)]
             index = bisect_left(self._positions, pos)
@@ -144,9 +148,11 @@ class IncrementalRingHash(RingHash):
         positions = self._horizon.pop(name, None)
         if positions is None:
             raise BackendError(f"server {name!r} is not in the horizon")
+        self._union_dirty = True
         if not self._w_pos:
             self._dirty = True  # empty working set: merged ring is empty
             return
+        self._kernel_dirty = True  # merged ring edited in place below
         for pos in positions:
             index = self._merged_index(pos)
             del self._positions[index]

@@ -172,13 +172,10 @@ class WeightedRingHash(RingHash):
         weight = self._weights.get(name, 1.0)
         return max(1, round(self.base_virtual_nodes * weight))
 
-    def _register(self, side, name: Name) -> None:
-        if name in self._working or name in self._horizon:
-            raise BackendError(f"server {name!r} already present")
+    def _placement(self, name: Name):
         from repro.ch.ring import _vnode_positions
 
-        side[name] = _vnode_positions(name, self._vnodes_for(name))
-        self._dirty = True
+        return _vnode_positions(name, self._vnodes_for(name))
 
     def weight_of(self, name: Name) -> float:
         if name not in self._working and name not in self._horizon:

@@ -20,7 +20,7 @@ from typing import FrozenSet, Optional, Set
 
 import numpy as np
 
-from repro.ch.base import ConsistentHash, HorizonConsistentHash
+from repro.ch.base import ConsistentHash, HorizonConsistentHash, has_batch_kernel
 from repro.core.interfaces import LoadBalancer, Name
 from repro.ct.base import ConnectionTracker
 from repro.ct.unbounded import UnboundedCT
@@ -40,6 +40,15 @@ class FullCTLoadBalancer(LoadBalancer):
         self.active_cleanup = active_cleanup
         self._horizon_aware = isinstance(ch, HorizonConsistentHash)
         self._working: Set[Name] = set(ch.working)
+        self._ch_batch_kernel = has_batch_kernel(ch)
+
+    @property
+    def batch_effective(self) -> bool:
+        return bool(
+            self._ch_batch_kernel
+            and self.ct.batch_reorder_safe
+            and self.active_cleanup
+        )
 
     # ----------------------------------------------------------- packet
     def get_destination(self, key_hash: int) -> Name:
@@ -55,18 +64,22 @@ class FullCTLoadBalancer(LoadBalancer):
     def get_destinations_batch(self, keys: np.ndarray) -> np.ndarray:
         """Batched full CT: CT-hit mask -> CH batch -> insert every miss.
 
-        Same soundness gate as JET's batch path: regrouping CT gets/puts
-        requires a reorder-safe table and the active-cleanup invariant
-        (no stale destinations to validate lazily); otherwise the scalar
-        loop runs so eviction and recency order are preserved exactly.
+        Same soundness gate as JET's batch path (reorder-safe table plus
+        the active-cleanup invariant -- lazy validation needs per-key
+        interleaving) and the same payoff gate (the CH must actually have
+        a batch kernel); ``batch_effective`` folds all three in.
+        Otherwise the scalar loop runs so eviction and recency order are
+        preserved exactly and batch never runs slower than scalar.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if len(keys) == 0:
             return np.empty(0, dtype=object)
-        if not (self.ct.batch_reorder_safe and self.active_cleanup):
+        if not self.batch_effective:
             return LoadBalancer.get_destinations_batch(self, keys)
         destinations = self.ct.get_batch(keys)
-        miss = np.array([d is None for d in destinations], dtype=bool)
+        # np.equal runs the None comparison in a C loop -- ~3x faster
+        # than a Python list comprehension over the object array.
+        miss = np.equal(destinations, None)
         if miss.any():
             miss_keys = keys[miss]
             found = self.ch.lookup_batch(miss_keys)

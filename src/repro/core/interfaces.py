@@ -44,6 +44,20 @@ class LoadBalancer(ABC):
         out[:] = found
         return out
 
+    @property
+    def batch_effective(self) -> bool:
+        """True iff :meth:`get_destinations_batch` actually vectorizes.
+
+        The never-slower probe for batch drivers (replay, the sim
+        engine's packet coalescing): when False, the batch path is the
+        scalar loop plus array packing, so drivers should skip batch
+        assembly entirely and dispatch scalar.  The default answers
+        "does this LB override the batch method at all?"; composed LBs
+        refine it with their runtime gates (CH kernel present, CT
+        reorder-safe, active cleanup).
+        """
+        return type(self).get_destinations_batch is not LoadBalancer.get_destinations_batch
+
     @abstractmethod
     def add_working_server(self, name: Name) -> None:
         """ADDWORKINGSERVER: admit ``name`` (from the horizon if one exists)."""

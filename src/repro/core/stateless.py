@@ -13,7 +13,7 @@ from typing import FrozenSet, Set
 
 import numpy as np
 
-from repro.ch.base import ConsistentHash, HorizonConsistentHash
+from repro.ch.base import ConsistentHash, HorizonConsistentHash, has_batch_kernel
 from repro.core.interfaces import LoadBalancer, Name
 
 
@@ -24,6 +24,11 @@ class StatelessLoadBalancer(LoadBalancer):
         self.ch = ch
         self._horizon_aware = isinstance(ch, HorizonConsistentHash)
         self._working: Set[Name] = set(ch.working)
+        self._ch_batch_kernel = has_batch_kernel(ch)
+
+    @property
+    def batch_effective(self) -> bool:
+        return self._ch_batch_kernel
 
     def get_destination(self, key_hash: int) -> Name:
         return self.ch.lookup(key_hash)

@@ -44,13 +44,18 @@ class UnboundedCT(ConnectionTracker):
         out = np.empty(len(found), dtype=object)
         out[:] = found
         self.stats.lookups += len(found)
-        self.stats.hits += sum(1 for d in found if d is not None)
+        self.stats.hits += len(found) - found.count(None)
         return out
 
     def put_batch(self, keys: np.ndarray, destinations: np.ndarray) -> None:
         """Bulk insert; peak size is noted once (the table only grows)."""
         table = self._table
         inserts = 0
+        destinations = (
+            destinations.tolist()
+            if isinstance(destinations, np.ndarray)
+            else destinations
+        )
         for k, d in zip(np.asarray(keys, dtype=np.uint64).tolist(), destinations):
             if k not in table:
                 inserts += 1

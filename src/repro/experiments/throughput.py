@@ -4,12 +4,15 @@ Measures the batch lookup path introduced by the vectorized dataplane
 against the scalar reference at two layers:
 
 - **CH layer**: ``lookup_with_safety_batch`` vs a ``lookup_with_safety``
-  loop for every registered CH family (vectorized: HRW, table-HRW,
-  modulo, jump; scalar-fallback: ring, anchor -- included to show the
-  interface costs nothing where no vector code exists);
+  loop for every horizon-aware CH family (HRW, table-HRW, ring, anchor,
+  jump, modulo -- all vectorized), plus ``lookup_batch`` vs a ``lookup``
+  loop for Maglev (no safety variant, Section 3.6);
 - **LB/replay layer**: :func:`repro.traces.replay_batch` vs
   :func:`repro.traces.replay` over a Zipf trace for JET and the
-  baselines.
+  baselines.  Every balancer must satisfy the never-slower contract
+  (``batch_pps >= 0.95 * scalar_pps``) -- a balancer whose stack lacks a
+  vector kernel routes straight through the scalar loop, so batch can
+  only tie or win.
 
 Every timed configuration is first differentially checked key-for-key
 against the scalar path (the replay comparison additionally asserts
@@ -20,19 +23,26 @@ Results are written machine-readable to ``BENCH_dataplane.json`` (repo
 root by default) to anchor the performance trajectory across PRs::
 
     python -m repro.experiments.throughput --scale smoke --seed 1
+
+``--check-against BENCH_dataplane.json`` additionally gates the fresh run
+against the committed numbers (CI's dataplane-smoke job): it fails when
+any family's batch path is slower than scalar, when any replay balancer
+drops below the never-slower floor, or when a previously-vectorized
+family regresses below half its recorded speedup (same scale only).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.ch import rows_for
-from repro.ch.base import ConsistentHash, HorizonConsistentHash
+from repro.ch.base import HorizonConsistentHash, has_batch_kernel
 from repro.ch.properties import sample_keys
 from repro.core.factories import make_ch, make_full_ct, make_jet
 from repro.core.stateless import StatelessLoadBalancer
@@ -40,9 +50,9 @@ from repro.experiments.scales import scale_name
 from repro.traces import zipf_trace
 from repro.traces.replay import replay, replay_batch
 
-#: Families swept at the CH layer ("maglev" has no safety variant and is
-#: exercised at the replay layer instead).
-CH_SWEEP = ("hrw", "table", "ring", "anchor", "jump", "modulo")
+#: Families swept at the CH layer.  "maglev" has no safety variant, so it
+#: is timed through plain ``lookup``/``lookup_batch``.
+CH_SWEEP = ("hrw", "table", "ring", "anchor", "maglev", "jump", "modulo")
 
 #: Per-scale sweep sizing (batch size stays at the acceptance-criteria
 #: 10k keys everywhere; only population and repetition counts scale).
@@ -63,13 +73,9 @@ def _build_ch(family: str, n_servers: int):
         kwargs["rows"] = rows_for(n_servers)
     if family == "anchor":
         kwargs["capacity"] = 2 * (len(working) + len(horizon)) + 4
+    if family == "maglev":
+        horizon = ()  # no horizon support (Section 3.6)
     return make_ch(family, working, horizon, **kwargs)
-
-
-def _is_vectorized(ch) -> bool:
-    """Whether the instance overrides the scalar-loop batch fallback."""
-    method = type(ch).lookup_with_safety_batch
-    return method is not HorizonConsistentHash.lookup_with_safety_batch
 
 
 def _best_of(repeats: int, func) -> float:
@@ -81,37 +87,53 @@ def _best_of(repeats: int, func) -> float:
     return best
 
 
-def run_ch_sweep(
-    n_servers: int, repeats: int, seed: int, batch_size: int = BATCH_SIZE
-) -> List[dict]:
-    """Scalar-vs-batch lookup rate for every CH family in the sweep."""
-    keys = np.array(sample_keys(batch_size, seed=seed), dtype=np.uint64)
+def _sweep_one(ch, family: str, repeats: int, keys: np.ndarray) -> dict:
+    """Differentially gate then time one (family, batch size) cell."""
     key_list = keys.tolist()
-    rows = []
-    for family in CH_SWEEP:
-        ch = _build_ch(family, n_servers)
-        # Differential gate: a wrong batch path must never get timed.
-        probe = keys[:512]
+    batch_size = len(key_list)
+    horizon_aware = isinstance(ch, HorizonConsistentHash)
+    # Differential gate: a wrong batch path must never get timed.
+    probe = keys[: min(512, batch_size)]
+    if horizon_aware:
         destinations, unsafe = ch.lookup_with_safety_batch(probe)
         for i, k in enumerate(probe.tolist()):
-            expected = ch.lookup_with_safety(k)
-            if (destinations[i], bool(unsafe[i])) != expected:
+            if (destinations[i], bool(unsafe[i])) != ch.lookup_with_safety(k):
                 raise AssertionError(f"{family}: batch diverges from scalar at key {k}")
-
         scalar_s = _best_of(
             repeats, lambda: [ch.lookup_with_safety(k) for k in key_list]
         )
         batch_s = _best_of(repeats, lambda: ch.lookup_with_safety_batch(keys))
-        rows.append(
-            {
-                "family": family,
-                "vectorized": _is_vectorized(ch),
-                "batch_size": batch_size,
-                "scalar_keys_per_s": batch_size / scalar_s,
-                "batch_keys_per_s": batch_size / batch_s,
-                "speedup": scalar_s / batch_s,
-            }
-        )
+    else:
+        destinations = ch.lookup_batch(probe)
+        for i, k in enumerate(probe.tolist()):
+            if destinations[i] != ch.lookup(k):
+                raise AssertionError(f"{family}: batch diverges from scalar at key {k}")
+        scalar_s = _best_of(repeats, lambda: [ch.lookup(k) for k in key_list])
+        batch_s = _best_of(repeats, lambda: ch.lookup_batch(keys))
+    return {
+        "family": family,
+        "vectorized": has_batch_kernel(ch),
+        "batch_size": batch_size,
+        "scalar_keys_per_s": batch_size / scalar_s,
+        "batch_keys_per_s": batch_size / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def run_ch_sweep(
+    n_servers: int,
+    repeats: int,
+    seed: int,
+    batch_sizes: Sequence[int] = (BATCH_SIZE,),
+) -> List[dict]:
+    """Scalar-vs-batch lookup rate for every CH family, per batch size."""
+    max_size = max(batch_sizes)
+    all_keys = np.array(sample_keys(max_size, seed=seed), dtype=np.uint64)
+    rows = []
+    for family in CH_SWEEP:
+        ch = _build_ch(family, n_servers)
+        for batch_size in batch_sizes:
+            rows.append(_sweep_one(ch, family, repeats, all_keys[:batch_size]))
     return rows
 
 
@@ -146,6 +168,13 @@ def run_replay_compare(
             or scalar_result.server_loads != batch_result.server_loads
         ):
             raise AssertionError(f"{label}: batched replay diverges from scalar")
+        # Never-slower contract: a stack without a vector kernel routes
+        # through the scalar loop, so batch can at worst tie within noise.
+        if batch_result.rate_pps < 0.95 * scalar_result.rate_pps:
+            raise AssertionError(
+                f"{label}: batch replay slower than scalar "
+                f"({batch_result.rate_pps:,.0f} vs {scalar_result.rate_pps:,.0f} pps)"
+            )
         rows.append(
             {
                 "balancer": label,
@@ -162,7 +191,11 @@ def run_replay_compare(
     return rows
 
 
-def run_throughput(scale: Optional[str] = None, seed: int = 1) -> dict:
+def run_throughput(
+    scale: Optional[str] = None,
+    seed: int = 1,
+    batch_sizes: Sequence[int] = (BATCH_SIZE,),
+) -> dict:
     """Run the full experiment at a preset scale; returns the JSON payload."""
     name = scale_name(scale)
     params = SWEEP_SCALES[name]
@@ -171,7 +204,10 @@ def run_throughput(scale: Optional[str] = None, seed: int = 1) -> dict:
         "scale": name,
         "seed": seed,
         "n_servers": params["n_servers"],
-        "ch_lookup": run_ch_sweep(params["n_servers"], params["repeats"], seed),
+        "batch_sizes": list(batch_sizes),
+        "ch_lookup": run_ch_sweep(
+            params["n_servers"], params["repeats"], seed, batch_sizes
+        ),
         "replay": run_replay_compare(
             params["n_servers"],
             params["trace_packets"],
@@ -181,15 +217,69 @@ def run_throughput(scale: Optional[str] = None, seed: int = 1) -> dict:
     }
 
 
+def check_against(payload: dict, recorded: dict) -> List[str]:
+    """Regression gate for CI: compare a fresh payload to committed numbers.
+
+    Failures (returned as human-readable strings; empty list == pass):
+
+    - any fresh ``ch_lookup`` family with ``speedup < 1.0`` at the
+      reference batch size, or any fresh ``replay`` balancer below the
+      0.95 never-slower floor;
+    - any family recorded as ``vectorized`` whose fresh speedup fell
+      below half the recorded one.  Speedups scale with population, so
+      the half-of-recorded check only applies when the scales match.
+    """
+    failures: List[str] = []
+
+    def reference_rows(rows):
+        # One row per family at the largest measured batch (the
+        # acceptance-criteria size) even when a sweep recorded several.
+        by_family: Dict[str, dict] = {}
+        for row in rows:
+            best = by_family.get(row["family"])
+            if best is None or row["batch_size"] > best["batch_size"]:
+                by_family[row["family"]] = row
+        return by_family
+
+    fresh_ch = reference_rows(payload["ch_lookup"])
+    for family, row in fresh_ch.items():
+        if row["speedup"] < 1.0:
+            failures.append(
+                f"ch_lookup[{family}]: batch slower than scalar "
+                f"(speedup {row['speedup']:.3f} < 1.0)"
+            )
+    for row in payload["replay"]:
+        if row["speedup"] < 0.95:
+            failures.append(
+                f"replay[{row['balancer']}]: below never-slower floor "
+                f"(speedup {row['speedup']:.3f} < 0.95)"
+            )
+
+    if recorded.get("scale") == payload.get("scale"):
+        recorded_ch = reference_rows(recorded.get("ch_lookup", []))
+        for family, old in recorded_ch.items():
+            fresh = fresh_ch.get(family)
+            if fresh is None or not old.get("vectorized"):
+                continue
+            if fresh["speedup"] < 0.5 * old["speedup"]:
+                failures.append(
+                    f"ch_lookup[{family}]: regressed below half the recorded "
+                    f"speedup ({fresh['speedup']:.2f} < 0.5 * {old['speedup']:.2f})"
+                )
+    return failures
+
+
 def format_report(payload: dict) -> str:
     lines = [
         f"batched dataplane @ scale={payload['scale']} "
-        f"(n={payload['n_servers']}, batch={BATCH_SIZE})",
-        f"{'family':<10} {'scalar k/s':>12} {'batch k/s':>12} {'speedup':>8}  vectorized",
+        f"(n={payload['n_servers']}, batches={payload.get('batch_sizes', [BATCH_SIZE])})",
+        f"{'family':<10} {'batch':>7} {'scalar k/s':>12} {'batch k/s':>12} "
+        f"{'speedup':>8}  vectorized",
     ]
     for row in payload["ch_lookup"]:
         lines.append(
-            f"{row['family']:<10} {row['scalar_keys_per_s']:>12,.0f} "
+            f"{row['family']:<10} {row['batch_size']:>7,} "
+            f"{row['scalar_keys_per_s']:>12,.0f} "
             f"{row['batch_keys_per_s']:>12,.0f} {row['speedup']:>7.1f}x  "
             f"{'yes' if row['vectorized'] else 'fallback'}"
         )
@@ -208,16 +298,47 @@ def write_json(payload: dict, path: str) -> None:
         fh.write("\n")
 
 
+def _parse_batch_sizes(spec: str) -> List[int]:
+    sizes = sorted({int(s) for s in spec.split(",") if s.strip()})
+    if not sizes or any(s < 1 for s in sizes):
+        raise argparse.ArgumentTypeError("batch sizes must be positive integers")
+    return sizes
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default=None, choices=sorted(SWEEP_SCALES))
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--output", default="BENCH_dataplane.json")
+    parser.add_argument(
+        "--batch-sizes",
+        type=_parse_batch_sizes,
+        default=[BATCH_SIZE],
+        help="comma-separated batch sizes for the CH sweep (one row each)",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_dataplane.json to gate against (CI); "
+        "exits nonzero on any regression",
+    )
     args = parser.parse_args(argv)
-    payload = run_throughput(scale=args.scale, seed=args.seed)
+    payload = run_throughput(
+        scale=args.scale, seed=args.seed, batch_sizes=args.batch_sizes
+    )
     print(format_report(payload))
     write_json(payload, args.output)
     print(f"wrote {args.output}")
+    if args.check_against:
+        with open(args.check_against) as fh:
+            recorded = json.load(fh)
+        failures = check_against(payload, recorded)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"regression gate vs {args.check_against}: ok")
 
 
 if __name__ == "__main__":

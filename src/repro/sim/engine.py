@@ -74,6 +74,9 @@ class EventDrivenSimulation:
         self._note_flow_start = getattr(balancer, "note_flow_start", None)
         self._note_flow_end = getattr(balancer, "note_flow_end", None)
         self._syn_aware = bool(getattr(balancer, "dispatches_new_connections", False))
+        # Never-slower guarantee: coalescing only pays when the LB's batch
+        # path actually vectorizes; otherwise stay on the scalar loop.
+        self._batch_effective = bool(getattr(balancer, "batch_effective", False))
         self.workload = workload
         self.duration_s = duration_s
         self.sample_interval = sample_interval
@@ -196,7 +199,7 @@ class EventDrivenSimulation:
 
         heap = self._heap
         sim_clock = self._sim_clock
-        coalesce = self.coalesce_packets
+        coalesce = self.coalesce_packets and self._batch_effective
         while heap:
             when, _, kind, payload = heapq.heappop(heap)
             if when > self.duration_s:

@@ -176,11 +176,16 @@ def replay_batch(
     accounting commutes with batching.  Only the wall-clock rate differs.
 
     SYN-aware balancers (Section 6.3) need a per-packet new-connection
-    flag, so they are delegated to the scalar loop unchanged.
+    flag, so they are delegated to the scalar loop unchanged -- as is any
+    balancer whose ``batch_effective`` probe reports no real vector path
+    (never-slower guarantee: batch assembly over a scalar-loop fallback
+    only adds overhead, the 0.75-0.82x regressions of the PR 2 bench).
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
     if getattr(balancer, "dispatches_new_connections", False):
+        return replay(trace, balancer, events)
+    if not getattr(balancer, "batch_effective", False):
         return replay(trace, balancer, events)
 
     keys = np.ascontiguousarray(trace.flow_keys, dtype=np.uint64)
@@ -209,8 +214,10 @@ def replay_batch(
             end = min(end, event_queue[next_event][0])
         flow_indices = packets[position:end]
         destinations = balancer.get_destinations_batch(keys[flow_indices])
-        for i, flow_index in enumerate(flow_indices.tolist()):
-            destination = destinations[i]
+        # tolist() once per chunk: per-item object-array indexing costs
+        # ~2x a plain list iteration and would eat the batch dividend for
+        # cheap-scalar stacks (full CT over Maglev).
+        for flow_index, destination in zip(flow_indices.tolist(), destinations.tolist()):
             previous = first_destination[flow_index]
             if previous is None:
                 first_destination[flow_index] = destination

@@ -11,7 +11,13 @@ replay/simulation metrics.
 import numpy as np
 import pytest
 
-from repro.ch import EXTENSION_FAMILIES, JET_FAMILIES, MaglevHash
+from repro.ch import (
+    EXTENSION_FAMILIES,
+    JET_FAMILIES,
+    MaglevHash,
+    ScalarTableHRW,
+    has_batch_kernel,
+)
 from repro.ch.properties import sample_keys
 from repro.core import (
     JETLoadBalancer,
@@ -102,11 +108,128 @@ class TestCHBatch:
         assert list(destinations) == [ch.lookup(k) for k in ints]
 
 
-def test_maglev_default_lookup_batch():
-    """Maglev has no override; the inherited fallback must still match."""
-    ch = MaglevHash(WORKING, table_size=251)
-    out = ch.lookup_batch(KEYS[:500])
-    assert list(out) == [ch.lookup(int(k)) for k in KEYS[:500]]
+class TestMaglevBatch:
+    """Maglev's int32-table kernel against the scalar table walk."""
+
+    def test_matches_scalar(self):
+        ch = MaglevHash(WORKING, table_size=251)
+        out = ch.lookup_batch(KEYS[:500])
+        assert list(out) == [ch.lookup(int(k)) for k in KEYS[:500]]
+
+    def test_empty_batch(self):
+        ch = MaglevHash(WORKING, table_size=251)
+        assert len(ch.lookup_batch(np.empty(0, dtype=np.uint64))) == 0
+
+    def test_single_server_owns_every_row(self):
+        ch = MaglevHash(["only"], table_size=251)
+        out = ch.lookup_batch(KEYS[:64])
+        assert set(out.tolist()) == {"only"}
+
+    def test_matches_scalar_after_churn(self):
+        ch = MaglevHash(WORKING, table_size=251)
+        ch.remove(WORKING[0])
+        ch.add("fresh")
+        out = ch.lookup_batch(KEYS[:500])
+        assert list(out) == [ch.lookup(int(k)) for k in KEYS[:500]]
+
+    def test_empty_working_set_raises(self):
+        from repro.ch import BackendError
+
+        ch = MaglevHash(["only"], table_size=251)
+        ch.remove("only")
+        with pytest.raises(BackendError):
+            ch.lookup_batch(KEYS[:4])
+
+
+class TestRingKernelEdges:
+    """Searchsorted boundary and cache-invalidation cases for the ring."""
+
+    @pytest.mark.parametrize("family", ["ring", "ring-incremental"])
+    def test_key_exactly_on_vnode_position(self, family):
+        # bisect_right/searchsorted(side="right") place an exact hit
+        # *after* the vnode, so the key belongs to the next entry; batch
+        # must agree with scalar on every materialized position.
+        ch = build(family)
+        ch.lookup(0)  # force the initial rebuild
+        boundary = np.array(ch._positions[:200], dtype=np.uint64)
+        assert_batch_matches_scalar(ch, boundary)
+
+    @pytest.mark.parametrize("family", ["ring", "ring-incremental"])
+    def test_wraparound_past_last_vnode(self, family):
+        # Keys beyond the highest vnode wrap to entry 0 (clockwise ring).
+        ch = build(family)
+        ch.lookup(0)
+        top = max(ch._positions)
+        wrap = np.array([top, (top + 1) & 0xFFFF_FFFF_FFFF_FFFF, 2**64 - 1, 0],
+                        dtype=np.uint64)
+        assert_batch_matches_scalar(ch, wrap)
+
+    @pytest.mark.parametrize("family", ["ring", "ring-incremental"])
+    def test_horizon_dominated_ring(self, family):
+        # One working server, many horizon vnodes: most merged-ring
+        # entries are tracked horizon entries pointing at the lone worker.
+        ch = make_ch(family, ["solo"], HORIZON, virtual_nodes=20)
+        destinations, unsafe = ch.lookup_with_safety_batch(KEYS[:400])
+        assert set(destinations.tolist()) == {"solo"}
+        assert unsafe.any()
+        assert_batch_matches_scalar(ch, KEYS[:400])
+
+    @pytest.mark.parametrize("family", ["ring", "ring-incremental"])
+    def test_batch_after_remove_working_dirty_rebuild(self, family):
+        # remove_working marks the ring dirty (or edits it in place for
+        # the incremental variant); the *batch* call must be the one that
+        # triggers the rebuild/kernel refresh and still match scalar.
+        ch = build(family)
+        ch.lookup_with_safety_batch(KEYS[:100])  # warm the kernel arrays
+        ch.remove_working(WORKING[0])
+        fresh = build(family)
+        fresh.remove_working(WORKING[0])
+        destinations, unsafe = ch.lookup_with_safety_batch(KEYS[:400])
+        expected = [fresh.lookup_with_safety(int(k)) for k in KEYS[:400]]
+        assert list(destinations) == [d for d, _ in expected]
+        assert unsafe.tolist() == [u for _, u in expected]
+
+    def test_single_server_no_horizon(self):
+        ch = make_ch("ring", ["solo"], [], virtual_nodes=20)
+        destinations, unsafe = ch.lookup_with_safety_batch(KEYS[:100])
+        assert set(destinations.tolist()) == {"solo"}
+        assert not unsafe.any()
+
+    def test_union_cache_tracks_membership_changes(self):
+        ch = build("ring")
+        before = [ch.lookup_union(int(k)) for k in KEYS[:200]]
+        # W <-> H moves must not change the union ring ...
+        ch.remove_working(WORKING[0])
+        assert [ch.lookup_union(int(k)) for k in KEYS[:200]] == before
+        ch.add_working(HORIZON[0])
+        assert [ch.lookup_union(int(k)) for k in KEYS[:200]] == before
+        # ... while identity changes must refresh the cached union.
+        ch.add_horizon("brand-new")
+        fresh = build("ring")
+        fresh.remove_working(WORKING[0])
+        fresh.add_working(HORIZON[0])
+        fresh.add_horizon("brand-new")
+        assert [ch.lookup_union(int(k)) for k in KEYS[:200]] == [
+            fresh.lookup_union(int(k)) for k in KEYS[:200]
+        ]
+
+
+class TestAnchorKernelEdges:
+    def test_single_working_bucket(self):
+        ch = make_ch("anchor", ["solo"], HORIZON, capacity=32)
+        destinations, unsafe = ch.lookup_with_safety_batch(KEYS[:200])
+        assert set(destinations.tolist()) == {"solo"}
+        assert_batch_matches_scalar(ch, KEYS[:200])
+
+    def test_deep_wandering_after_mass_removal(self):
+        # Remove most workers so GETBUCKET paths wander through many
+        # removed buckets (exercises the active-mask iterations and the
+        # inner K-chase) and every surviving key reports unsafe=True
+        # against the large horizon region.
+        ch = build("anchor")
+        for name in WORKING[2:]:
+            ch.remove_working(name)
+        assert_batch_matches_scalar(ch, KEYS[:600])
 
 
 class TestCTBatch:
@@ -225,6 +348,66 @@ class TestLBBatch:
     def test_empty_batch(self):
         lb = make_jet("hrw", WORKING, HORIZON)
         assert len(lb.get_destinations_batch(np.empty(0, dtype=np.uint64))) == 0
+
+
+class TestNeverSlowerRouting:
+    """Capability probes: stacks without vector kernels must route
+    straight through the scalar loop, never through batch assembly."""
+
+    def test_has_batch_kernel_probe(self):
+        # Every shipped family now has a kernel ...
+        for family in ALL_FAMILIES:
+            assert has_batch_kernel(build(family)), family
+        assert has_batch_kernel(MaglevHash(WORKING, table_size=251))
+        # ... and the loop-based reference transcription does not.
+        assert not has_batch_kernel(ScalarTableHRW(WORKING, HORIZON, rows=389))
+
+    def test_lb_batch_effective_probes(self):
+        scalar_ch = ScalarTableHRW(WORKING, HORIZON, rows=389)
+        assert not JETLoadBalancer(scalar_ch).batch_effective
+        assert not StatelessLoadBalancer(
+            ScalarTableHRW(WORKING, HORIZON, rows=389)
+        ).batch_effective
+        assert JETLoadBalancer(build("ring")).batch_effective
+        assert StatelessLoadBalancer(build("table")).batch_effective
+        # CT/cleanup gates fold into the same probe.
+        assert not make_jet(
+            "hrw", WORKING, HORIZON, ct=LRUCT(capacity=32)
+        ).batch_effective
+        assert not JETLoadBalancer(
+            build("hrw"), UnboundedCT(), active_cleanup=False
+        ).batch_effective
+        assert not make_full_ct(
+            "table", WORKING, HORIZON, rows=389, ct=LRUCT(capacity=32)
+        ).batch_effective
+        assert make_full_ct("maglev", WORKING, table_size=251).batch_effective
+
+    def test_jet_scalar_ch_routes_through_scalar_loop(self):
+        def maker():
+            return JETLoadBalancer(ScalarTableHRW(WORKING, HORIZON, rows=389))
+
+        batched, scalar = _lb_pair(maker)
+        # The composed path would call ct.get_batch; the scalar route
+        # never does.  Results must still match the scalar twin exactly.
+        def forbidden(keys):
+            raise AssertionError("batch assembly ran for a scalar-only CH")
+
+        batched.ct.get_batch = forbidden
+        assert_lb_batch_matches(batched, scalar, KEYS[:300])
+
+    def test_replay_batch_delegates_for_scalar_only_stack(self):
+        trace = zipf_trace(skew=1.0, n_packets=5_000, population=1_000, seed=13)
+        balancer = JETLoadBalancer(ScalarTableHRW(WORKING, HORIZON, rows=389))
+
+        def forbidden(keys):
+            raise AssertionError("replay_batch assembled batches without a kernel")
+
+        balancer.get_destinations_batch = forbidden
+        batched = replay_batch(trace, balancer)
+        scalar = replay(
+            trace, JETLoadBalancer(ScalarTableHRW(WORKING, HORIZON, rows=389))
+        )
+        assert _replay_fields(batched) == _replay_fields(scalar)
 
 
 def _replay_fields(result):

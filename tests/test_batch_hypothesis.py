@@ -17,6 +17,7 @@ from repro.ch import (
     JET_FAMILIES,
     AnchorHash,
     IncrementalRingHash,
+    MaglevHash,
     RingHash,
     TableHRWHash,
 )
@@ -93,3 +94,44 @@ class TestBatchEqualsScalarEverywhere:
     def test_single_key_batch(self, family, key):
         ch = build(family, ["w0", "w1", "w2"], ["h0"])
         assert_batch_equals_scalar(ch, [key])
+
+
+class TestMaglevBatchProperties:
+    """Maglev has no safety variant; hold lookup_batch to the lookup loop."""
+
+    @given(
+        n_working=st.integers(min_value=1, max_value=10),
+        key_sample=st.lists(keys64, min_size=0, max_size=40),
+        churn=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_equals_scalar(self, n_working, key_sample, churn):
+        ch = MaglevHash([f"w{i}" for i in range(n_working)], table_size=251)
+        if churn:
+            ch.add("fresh")
+            ch.remove("w0")
+        keys = np.array(key_sample, dtype=np.uint64)
+        assert list(ch.lookup_batch(keys)) == [ch.lookup(k) for k in key_sample]
+
+
+class TestRingBoundaryKeys:
+    """Keys drawn from the materialized vnode positions themselves: the
+    searchsorted(side="right") boundary must agree with bisect_right."""
+
+    @given(
+        variant=st.sampled_from(["ring", "ring-incremental"]),
+        n_working=st.integers(min_value=1, max_value=8),
+        n_horizon=st.integers(min_value=0, max_value=3),
+        picks=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=25),
+        offset=st.sampled_from([0, 1, MASK64]),  # on, just after, just before
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vnode_position_keys(self, variant, n_working, n_horizon, picks, offset):
+        ch = build(variant, [f"w{i}" for i in range(n_working)],
+                   [f"h{i}" for i in range(n_horizon)])
+        ch.lookup(0)  # force the initial rebuild
+        positions = ch._positions
+        key_sample = [
+            (positions[p % len(positions)] + offset) & MASK64 for p in picks
+        ]
+        assert_batch_equals_scalar(ch, key_sample)
