@@ -6,6 +6,7 @@ Commands
                 table1, table2, theory, extensions, lbpool, all)
 ``simulate``    one event-driven run with explicit knobs (Section 5.1)
 ``trace``       generate / inspect / replay packet traces
+``obs``         observability utilities (summarize a metrics artifact)
 ``version``     print package version
 
 Examples::
@@ -25,6 +26,38 @@ import sys
 from typing import List, Optional
 
 from repro.sim.distributions import LogNormal
+
+
+def _open_metrics(args: argparse.Namespace):
+    """(registry, exporter) for ``--metrics-out``, or (None, None)."""
+    if not getattr(args, "metrics_out", None):
+        return None, None
+    from repro.obs import JsonlExporter, Registry
+
+    registry = Registry()
+    exporter = JsonlExporter(args.metrics_out)
+    registry.attach_exporter(exporter)
+    return registry, exporter
+
+
+def _close_metrics(args: argparse.Namespace, registry, exporter, t: float = 0.0) -> None:
+    """Final snapshot + invariants + Prometheus sibling, then report."""
+    from repro.obs import (
+        MonitorSuite,
+        evaluate_and_export,
+        prometheus_sibling,
+        write_prometheus,
+    )
+
+    results = evaluate_and_export(registry, t=t, tolerance=args.metrics_tolerance)
+    exporter.close()
+    prom_path = write_prometheus(registry, prometheus_sibling(args.metrics_out))
+    print(f"metrics: {args.metrics_out} (prometheus: {prom_path})")
+    print("invariant monitors:")
+    print(MonitorSuite.render(results))
+    violated = MonitorSuite.violations(results)
+    if violated:
+        print(f"{len(violated)} invariant violation(s)")
 
 
 def _experiment(args: argparse.Namespace) -> int:
@@ -70,6 +103,7 @@ def _simulate(args: argparse.Namespace) -> int:
             unannounced_rate_per_min=args.unannounced_rate,
             group_size=args.group_size,
         )
+    registry, exporter = _open_metrics(args)
     config = SimulationConfig(
         duration_s=args.duration,
         connection_rate=args.rate,
@@ -85,9 +119,12 @@ def _simulate(args: argparse.Namespace) -> int:
         downtime_dist=LogNormal(median=args.downtime, sigma=0.8),
         fault_schedule=fault_schedule,
         probation_base_s=args.probation_base,
+        registry=registry,
     )
     result = run_simulation(config)
     print(result.summary())
+    if registry is not None:
+        _close_metrics(args, registry, exporter, t=args.duration)
     return 0
 
 
@@ -136,9 +173,30 @@ def _trace(args: argparse.Namespace) -> int:
             balancer = make_full_ct("maglev", working)
         else:
             balancer = make_full_ct(args.family, working, horizon, **kwargs)
-    outcome = replay(trace, balancer)
+    registry, exporter = _open_metrics(args)
+    outcome = replay(trace, balancer, metrics=registry)
     print(outcome.row())
+    if registry is not None:
+        _close_metrics(args, registry, exporter, t=outcome.wall_seconds)
     return 0
+
+
+def _obs(args: argparse.Namespace) -> int:
+    from repro.obs.summarize import main as summarize_main
+
+    argv = [args.path]
+    if args.strict:
+        argv.append("--strict")
+    return summarize_main(argv)
+
+
+def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a JSONL metrics time series here "
+                             "(plus a Prometheus .prom sibling)")
+    parser.add_argument("--metrics-tolerance", type=float, default=0.10,
+                        help="relative tolerance for the tracked-fraction "
+                             "invariant monitor")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -192,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="unannounced (horizon-bypassing) additions per minute")
     sim.add_argument("--probation-base", type=float, default=1.0,
                      help="base probation backoff for repeat failures (s)")
+    _add_metrics_args(sim)
     sim.set_defaults(func=_simulate)
 
     trace = sub.add_parser("trace", help="generate / inspect / replay traces")
@@ -216,7 +275,16 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--mode", choices=["jet", "full"], default="jet")
     rep.add_argument("--servers", type=int, default=50)
     rep.add_argument("--horizon", type=int, default=5)
+    _add_metrics_args(rep)
     trace.set_defaults(func=_trace)
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    osum = obs_sub.add_parser("summarize", help="summarize a JSONL metrics artifact")
+    osum.add_argument("path", help="metrics JSONL file written by --metrics-out")
+    osum.add_argument("--strict", action="store_true",
+                      help="exit 1 on any recorded invariant violation")
+    obs.set_defaults(func=_obs)
 
     ver = sub.add_parser("version", help="print the package version")
     ver.set_defaults(func=lambda _args: (print(__import__("repro").__version__), 0)[1])

@@ -41,6 +41,8 @@ from typing import Callable, FrozenSet, List, Optional, Union
 from repro.core.interfaces import LoadBalancer, Name
 from repro.faults.channel import SyncChannel
 from repro.hashing.mix import fmix64
+from repro.obs import metrics as obs_metrics
+from repro.obs.registry import coalesce
 
 BalancerFactory = Callable[[], LoadBalancer]
 
@@ -57,10 +59,15 @@ class LBPool(LoadBalancer):
         factory: BalancerFactory,
         size: int,
         sync: Union[bool, SyncChannel] = False,
+        registry=None,
     ):
         if size < 1:
             raise ValueError("pool needs at least one LB instance")
         self._factory = factory
+        # Membership *events* are incremented here as they happen; pool
+        # *state* (members, lost entries, occupancy, sync totals) is
+        # scraped by the obs collector at snapshot boundaries.
+        self.obs = coalesce(registry)
         if isinstance(sync, SyncChannel):
             self.channel: Optional[SyncChannel] = sync
         elif sync:
@@ -124,7 +131,13 @@ class LBPool(LoadBalancer):
                 for key, destination in donor_ct.items():
                     self.channel.replicate(key, destination, (member,))
         self.members.append(member)
+        self._note_event("add")
         return member
+
+    def _note_event(self, kind: str) -> None:
+        self.obs.counter(
+            obs_metrics.POOL_EVENTS, "Pool membership events by kind", kind=kind
+        ).inc()
 
     def _validate_index(self, index: int) -> int:
         if not isinstance(index, int) or isinstance(index, bool):
@@ -147,6 +160,7 @@ class LBPool(LoadBalancer):
             self.channel.forget_target(member)
         lost = member.tracked_connections
         self.lost_entries += lost
+        self._note_event("remove")
         return lost
 
     def crash_lb(self, index: int = -1) -> int:
@@ -154,6 +168,7 @@ class LBPool(LoadBalancer):
         the slice immediately) but counted as a crash."""
         lost = self.remove_lb(index)
         self.crashes += 1
+        self._note_event("crash")
         return lost
 
     # ------------------------------------------------------- partitions
@@ -165,6 +180,7 @@ class LBPool(LoadBalancer):
             self._partitioned.append(member)
             if self.channel is not None:
                 self.channel.forget_target(member)
+            self._note_event("partition")
         return member
 
     def heal_lb(self, index: int) -> int:
@@ -174,6 +190,7 @@ class LBPool(LoadBalancer):
         if member not in self._partitioned:
             return 0
         self._partitioned.remove(member)
+        self._note_event("heal")
         return self._replay_log(member, getattr(member, _LOG_ATTR, 0))
 
     def _replay_log(self, member: LoadBalancer, start: int) -> int:

@@ -26,7 +26,14 @@ Destination = Hashable
 
 @dataclass
 class CTStats:
-    """Counters a CT table maintains for evaluation."""
+    """Counters a CT table maintains for evaluation.
+
+    These plain ints are the *hot-loop* counters: the observability layer
+    (:mod:`repro.obs`) never instruments per-packet paths directly but
+    scrapes this object at snapshot boundaries (``repro_ct_*`` series,
+    with ``peak_size`` surfaced as the occupancy high-water mark in
+    ``SimResult.ct_peak_size`` / ``ReplayResult.ct_peak_size``).
+    """
 
     lookups: int = 0
     hits: int = 0

@@ -36,7 +36,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -47,6 +46,8 @@ from repro.ch.properties import sample_keys
 from repro.core.factories import make_ch, make_full_ct, make_jet
 from repro.core.stateless import StatelessLoadBalancer
 from repro.experiments.scales import scale_name
+from repro.obs import NULL, Registry
+from repro.obs.timers import best_of
 from repro.traces import zipf_trace
 from repro.traces.replay import replay, replay_batch
 
@@ -78,15 +79,6 @@ def _build_ch(family: str, n_servers: int):
     return make_ch(family, working, horizon, **kwargs)
 
 
-def _best_of(repeats: int, func) -> float:
-    best = float("inf")
-    for _ in range(max(1, repeats)):
-        started = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - started)
-    return best
-
-
 def _sweep_one(ch, family: str, repeats: int, keys: np.ndarray) -> dict:
     """Differentially gate then time one (family, batch size) cell."""
     key_list = keys.tolist()
@@ -99,17 +91,17 @@ def _sweep_one(ch, family: str, repeats: int, keys: np.ndarray) -> dict:
         for i, k in enumerate(probe.tolist()):
             if (destinations[i], bool(unsafe[i])) != ch.lookup_with_safety(k):
                 raise AssertionError(f"{family}: batch diverges from scalar at key {k}")
-        scalar_s = _best_of(
+        scalar_s = best_of(
             repeats, lambda: [ch.lookup_with_safety(k) for k in key_list]
         )
-        batch_s = _best_of(repeats, lambda: ch.lookup_with_safety_batch(keys))
+        batch_s = best_of(repeats, lambda: ch.lookup_with_safety_batch(keys))
     else:
         destinations = ch.lookup_batch(probe)
         for i, k in enumerate(probe.tolist()):
             if destinations[i] != ch.lookup(k):
                 raise AssertionError(f"{family}: batch diverges from scalar at key {k}")
-        scalar_s = _best_of(repeats, lambda: [ch.lookup(k) for k in key_list])
-        batch_s = _best_of(repeats, lambda: ch.lookup_batch(keys))
+        scalar_s = best_of(repeats, lambda: [ch.lookup(k) for k in key_list])
+        batch_s = best_of(repeats, lambda: ch.lookup_batch(keys))
     return {
         "family": family,
         "vectorized": has_batch_kernel(ch),
@@ -191,6 +183,51 @@ def run_replay_compare(
     return rows
 
 
+#: Floor for the instrumented-but-disabled replay path: a NullRegistry
+#: run must keep at least this fraction of the uninstrumented rate.
+OBS_DISABLED_FLOOR = 0.95
+
+
+def run_obs_overhead(
+    n_servers: int, trace_packets: int, trace_population: int, seed: int, repeats: int
+) -> dict:
+    """Measure the observability tax on the scalar replay loop.
+
+    Three identical replays of the same trace through fresh JET stacks:
+    ``metrics=None`` (uninstrumented), ``metrics=NULL`` (the instrumented
+    code path with the no-op registry -- what a run pays for obs being
+    *available* but off), and a live :class:`~repro.obs.Registry`.  All
+    instrumentation sits at batch/run boundaries, so the disabled path
+    must stay above :data:`OBS_DISABLED_FLOOR` of the uninstrumented rate
+    -- the micro-bench guard CI enforces via :func:`check_against`.
+    """
+    trace = zipf_trace(
+        skew=1.0, n_packets=trace_packets, population=trace_population, seed=seed
+    )
+    build = _replay_balancers(n_servers)["jet-table"]
+
+    def best_rate(registry_factory) -> float:
+        # Fresh balancer per repeat: a warm CT would shortcut CH lookups
+        # and flatter whichever variant runs later.
+        best = 0.0
+        for _ in range(max(1, repeats)):
+            best = max(best, replay(trace, build(), metrics=registry_factory()).rate_pps)
+        return best
+
+    base = best_rate(lambda: None)
+    disabled = best_rate(lambda: NULL)
+    live = best_rate(Registry)
+    return {
+        "balancer": "jet-table",
+        "trace_packets": trace.n_packets,
+        "base_pps": base,
+        "disabled_pps": disabled,
+        "live_pps": live,
+        "disabled_ratio": disabled / base if base else 0.0,
+        "live_ratio": live / base if base else 0.0,
+    }
+
+
 def run_throughput(
     scale: Optional[str] = None,
     seed: int = 1,
@@ -214,6 +251,13 @@ def run_throughput(
             params["trace_population"],
             seed,
         ),
+        "obs_overhead": run_obs_overhead(
+            params["n_servers"],
+            params["trace_packets"],
+            params["trace_population"],
+            seed,
+            params["repeats"],
+        ),
     }
 
 
@@ -225,6 +269,8 @@ def check_against(payload: dict, recorded: dict) -> List[str]:
     - any fresh ``ch_lookup`` family with ``speedup < 1.0`` at the
       reference batch size, or any fresh ``replay`` balancer below the
       0.95 never-slower floor;
+    - the instrumented-but-disabled replay path (``obs_overhead``)
+      below :data:`OBS_DISABLED_FLOOR` of the uninstrumented rate;
     - any family recorded as ``vectorized`` whose fresh speedup fell
       below half the recorded one.  Speedups scale with population, so
       the half-of-recorded check only applies when the scales match.
@@ -254,6 +300,13 @@ def check_against(payload: dict, recorded: dict) -> List[str]:
                 f"replay[{row['balancer']}]: below never-slower floor "
                 f"(speedup {row['speedup']:.3f} < 0.95)"
             )
+    obs = payload.get("obs_overhead")
+    if obs and obs["disabled_ratio"] < OBS_DISABLED_FLOOR:
+        failures.append(
+            f"obs_overhead[{obs['balancer']}]: disabled-registry replay below "
+            f"{OBS_DISABLED_FLOOR}x uninstrumented "
+            f"(ratio {obs['disabled_ratio']:.3f})"
+        )
 
     if recorded.get("scale") == payload.get("scale"):
         recorded_ch = reference_rows(recorded.get("ch_lookup", []))
@@ -289,6 +342,13 @@ def format_report(payload: dict) -> str:
             f"{row['balancer']:<16} {row['scalar_pps']:>12,.0f} "
             f"{row['batch_pps']:>12,.0f} {row['speedup']:>7.2f}x"
         )
+    obs = payload.get("obs_overhead")
+    if obs:
+        lines.append(
+            f"obs overhead ({obs['balancer']}): base {obs['base_pps']:,.0f} pps, "
+            f"disabled {obs['disabled_ratio']:.3f}x "
+            f"(floor {OBS_DISABLED_FLOOR}), live {obs['live_ratio']:.3f}x"
+        )
     return "\n".join(lines)
 
 
@@ -296,6 +356,34 @@ def write_json(payload: dict, path: str) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+
+
+def _write_metrics_artifact(path: str, scale: str, seed: int) -> None:
+    """One instrumented JET replay -> JSONL + Prometheus metrics files."""
+    from repro.obs import (
+        JsonlExporter,
+        MonitorSuite,
+        evaluate_and_export,
+        prometheus_sibling,
+        write_prometheus,
+    )
+
+    params = SWEEP_SCALES[scale]
+    trace = zipf_trace(
+        skew=1.0,
+        n_packets=params["trace_packets"],
+        population=params["trace_population"],
+        seed=seed,
+    )
+    registry = Registry()
+    with JsonlExporter(path) as exporter:
+        registry.attach_exporter(exporter)
+        result = replay(trace, _replay_balancers(params["n_servers"])["jet-table"](),
+                        metrics=registry)
+        results = evaluate_and_export(registry, t=result.wall_seconds)
+    write_prometheus(registry, prometheus_sibling(path))
+    print(f"metrics artifact: {path}")
+    print(MonitorSuite.render(results))
 
 
 def _parse_batch_sizes(spec: str) -> List[int]:
@@ -323,6 +411,13 @@ def main(argv=None) -> None:
         help="committed BENCH_dataplane.json to gate against (CI); "
         "exits nonzero on any regression",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="replay one instrumented JET run and write its JSONL metrics "
+        "artifact here (plus a Prometheus .prom sibling)",
+    )
     args = parser.parse_args(argv)
     payload = run_throughput(
         scale=args.scale, seed=args.seed, batch_sizes=args.batch_sizes
@@ -330,6 +425,8 @@ def main(argv=None) -> None:
     print(format_report(payload))
     write_json(payload, args.output)
     print(f"wrote {args.output}")
+    if args.metrics_out:
+        _write_metrics_artifact(args.metrics_out, payload["scale"], args.seed)
     if args.check_against:
         with open(args.check_against) as fh:
             recorded = json.load(fh)

@@ -31,6 +31,8 @@ from typing import Optional
 
 from repro.faults.events import CRASH, FLAP, GROUP, UNANNOUNCED_ADD, FaultEvent, FaultSchedule
 from repro.faults.health import HealthMonitor
+from repro.obs import metrics as obs_metrics
+from repro.obs.registry import coalesce
 
 
 class ChaosInjector:
@@ -41,6 +43,7 @@ class ChaosInjector:
         schedule: FaultSchedule,
         health: Optional[HealthMonitor] = None,
         fault_window_s: float = 10.0,
+        registry=None,
     ):
         self.schedule = schedule
         self.health = health
@@ -48,6 +51,7 @@ class ChaosInjector:
         #: attributed to the fault (``violations_under_fault``).
         self.fault_window_s = fault_window_s
         self._chaos_births = 0
+        self.obs = coalesce(registry)
 
     # ------------------------------------------------------------ priming
     def prime(self, sim) -> None:
@@ -68,6 +72,10 @@ class ChaosInjector:
         if applied:
             sim.result.fault_events += 1
             sim.note_fault(now)
+            self.obs.counter(
+                obs_metrics.FAULT_EVENTS, "Fault events applied by kind",
+                kind=event.kind,
+            ).inc()
 
     # ----------------------------------------------------------- handlers
     def _crash(self, sim, event: FaultEvent, now: float) -> bool:

@@ -1,0 +1,79 @@
+"""``repro.obs`` -- unified observability for the whole dataplane.
+
+One instrument panel for the reproduction: a metrics
+:class:`~repro.obs.registry.Registry` (counters, gauges, fixed-bucket
+histograms, timer contexts) with a true no-op
+:class:`~repro.obs.registry.NullRegistry` fast path, collectors that
+scrape existing dataplane counters at snapshot boundaries, live
+invariant monitors that check the paper's theorems against telemetry,
+and Prometheus / JSONL exporters wired into the CLI
+(``--metrics-out``, ``repro obs summarize``) and the experiments.
+
+Observability is strictly read-only: a run with a live registry makes
+byte-identical routing decisions and CT state to one with the
+NullRegistry (enforced by ``tests/test_obs_differential.py``), and the
+disabled path stays within the never-slower throughput floor (enforced
+by the throughput experiment's obs-overhead gate).
+"""
+
+from repro.obs import collectors as metrics
+from repro.obs.collectors import instrument_balancer, observed_tracked_fraction
+from repro.obs.export import (
+    JsonlExporter,
+    last_snapshot,
+    load_jsonl,
+    prometheus_sibling,
+    render_prometheus,
+    write_prometheus,
+)
+from repro.obs.invariants import (
+    DEFAULT_TOLERANCE,
+    InvariantMonitor,
+    MonitorResult,
+    MonitorSuite,
+    OccupancyBoundMonitor,
+    PCCAccountingMonitor,
+    TrackedFractionMonitor,
+    default_monitors,
+    evaluate_and_export,
+)
+from repro.obs.registry import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    coalesce,
+)
+from repro.obs.timers import Stopwatch, best_of
+
+__all__ = [
+    "metrics",
+    "instrument_balancer",
+    "observed_tracked_fraction",
+    "JsonlExporter",
+    "last_snapshot",
+    "load_jsonl",
+    "prometheus_sibling",
+    "render_prometheus",
+    "write_prometheus",
+    "DEFAULT_TOLERANCE",
+    "InvariantMonitor",
+    "MonitorResult",
+    "MonitorSuite",
+    "OccupancyBoundMonitor",
+    "PCCAccountingMonitor",
+    "TrackedFractionMonitor",
+    "default_monitors",
+    "evaluate_and_export",
+    "NULL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullRegistry",
+    "Registry",
+    "coalesce",
+    "Stopwatch",
+    "best_of",
+]

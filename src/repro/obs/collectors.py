@@ -1,0 +1,167 @@
+"""Collectors: scrape dataplane structural stats into a registry.
+
+The hot paths of this repo (per-packet CT gets, CH lookups) already
+maintain cheap plain-int counters -- :class:`~repro.ct.base.CTStats`,
+:class:`~repro.faults.channel.SyncStats`.  Observability therefore never
+adds calls inside those loops; instead a *collector* registered here
+reads the structural counters at snapshot boundaries (sample events,
+chunk ends, run finalization) and publishes them as registry series.
+That is what makes the ``NullRegistry`` path genuinely free and the
+live path O(metrics) per snapshot instead of O(packets).
+
+Derived series are documented where they are computed; the catalogue
+with semantics lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# ------------------------------------------------------- metric catalogue
+# Connection-tracking table (scraped from CTStats).
+CT_LOOKUPS = "repro_ct_lookups_total"
+CT_HITS = "repro_ct_hits_total"
+CT_INSERTS = "repro_ct_inserts_total"
+CT_EVICTIONS = "repro_ct_evictions_total"
+CT_INVALIDATIONS = "repro_ct_invalidations_total"
+CT_OCCUPANCY = "repro_ct_occupancy"
+CT_OCCUPANCY_PEAK = "repro_ct_occupancy_peak"
+CT_CAPACITY = "repro_ct_capacity"
+# Consistent-hash lookups, labelled by family (derived: one CH lookup per
+# CT miss for CT-backed balancers; driver-counted for stateless).
+CH_LOOKUPS = "repro_ch_lookups_total"
+# Flow-level accounting (driver-published).
+FLOWS = "repro_flows_total"
+TRACKED_FLOWS = "repro_tracked_flows_total"
+EXPECTED_TRACKED_FRACTION = "repro_expected_tracked_fraction"
+OBSERVED_TRACKED_FRACTION = "repro_observed_tracked_fraction"
+PCC_VIOLATIONS = "repro_pcc_violations_total"
+INEVITABLY_BROKEN = "repro_inevitably_broken_total"
+CHURN_EXPOSED = "repro_churn_exposed_flows_total"
+BACKEND_EVENTS = "repro_backend_events_total"
+# Fault injection.
+FAULT_EVENTS = "repro_fault_events_total"
+# Dispatch-path selection and wall time.
+DISPATCH_PACKETS = "repro_dispatch_packets_total"
+WALL_SECONDS = "repro_wall_seconds"
+# LB pool / sync channel.
+POOL_MEMBERS = "repro_pool_members"
+POOL_EVENTS = "repro_pool_events_total"
+POOL_LOST_ENTRIES = "repro_pool_lost_entries_total"
+SYNC_OFFERED = "repro_sync_offered_total"
+SYNC_DELIVERED = "repro_sync_delivered_total"
+SYNC_LOST_ATTEMPTS = "repro_sync_lost_attempts_total"
+SYNC_UNREPLICATED = "repro_sync_unreplicated_total"
+
+
+def ch_family(ch) -> str:
+    """A stable family label for a CH instance (``HRWHash`` -> ``hrw``)."""
+    name = type(ch).__name__
+    if name.endswith("Hash"):
+        name = name[: -len("Hash")]
+    return name.lower() or "unknown"
+
+
+def instrument_balancer(registry, balancer) -> None:
+    """Register collectors exposing a balancer stack's structural stats.
+
+    Safe to call with any :class:`~repro.core.interfaces.LoadBalancer`:
+    missing capabilities (no CT, no channel, no horizon) simply skip the
+    corresponding series.  On a :class:`~repro.obs.registry.NullRegistry`
+    this is a single no-op call.
+    """
+    if not registry.enabled:
+        return
+    members = getattr(balancer, "members", None)
+    if members is not None:  # LB pool: per-pool series plus the channel
+        _instrument_pool(registry, balancer)
+        return
+    _instrument_single(registry, balancer)
+
+
+def _instrument_single(registry, balancer) -> None:
+    ct = getattr(balancer, "ct", None)
+    ch = getattr(balancer, "ch", None)
+    family = ch_family(ch) if ch is not None else "none"
+
+    def collect(reg) -> None:
+        if ct is not None:
+            stats = ct.stats
+            reg.counter(CT_LOOKUPS, "CT lookups (gets)").set_total(stats.lookups)
+            reg.counter(CT_HITS, "CT lookup hits").set_total(stats.hits)
+            reg.counter(CT_INSERTS, "CT entries inserted").set_total(stats.inserts)
+            reg.counter(CT_EVICTIONS, "CT entries evicted").set_total(stats.evictions)
+            reg.counter(
+                CT_INVALIDATIONS, "CT entries dropped by active cleanup"
+            ).set_total(stats.invalidations)
+            reg.gauge(CT_OCCUPANCY, "Tracked connections right now").set(len(ct))
+            reg.gauge(
+                CT_OCCUPANCY_PEAK, "High-water mark of tracked connections"
+            ).set(stats.peak_size)
+            capacity = getattr(ct, "capacity", None)
+            if capacity is not None:
+                reg.gauge(CT_CAPACITY, "CT table capacity bound").set(capacity)
+            # Every CT miss falls through to exactly one CH lookup
+            # (Algorithm 1 line 4), so the CH bill is the miss count.
+            reg.counter(
+                CH_LOOKUPS, "CH lookups by hash family", family=family
+            ).set_total(stats.misses)
+        if _is_jet(balancer):
+            horizon = getattr(balancer, "horizon", None)
+            working = getattr(balancer, "working", None)
+            if horizon and working:
+                reg.gauge(
+                    EXPECTED_TRACKED_FRACTION,
+                    "Theorem 4.2 expected tracked fraction |H|/(|W|+|H|)",
+                ).set(len(horizon) / (len(working) + len(horizon)))
+
+    registry.add_collector(collect)
+
+
+def _instrument_pool(registry, pool) -> None:
+    channel = getattr(pool, "channel", None)
+
+    def collect(reg) -> None:
+        reg.gauge(POOL_MEMBERS, "Live LB instances in the pool").set(pool.size)
+        # Membership *event* counters (POOL_EVENTS) are incremented by the
+        # pool itself as events happen; this collector scrapes only state.
+        reg.counter(POOL_LOST_ENTRIES, "CT entries lost with departed members").set_total(
+            pool.lost_entries
+        )
+        reg.gauge(
+            "repro_pool_partitioned", "Members currently partitioned"
+        ).set(pool.partitioned)
+        reg.gauge(CT_OCCUPANCY, "Tracked connections right now").set(
+            pool.tracked_connections
+        )
+        if channel is not None:
+            stats = channel.stats
+            reg.counter(SYNC_OFFERED, "Sync replications offered").set_total(stats.offered)
+            reg.counter(SYNC_DELIVERED, "Sync entries applied at peers").set_total(
+                stats.delivered
+            )
+            reg.counter(SYNC_LOST_ATTEMPTS, "Sync delivery attempts lost").set_total(
+                stats.lost_attempts
+            )
+            reg.counter(
+                SYNC_UNREPLICATED, "Sync entries abandoned after retries"
+            ).set_total(stats.unreplicated)
+
+    registry.add_collector(collect)
+
+
+def _is_jet(balancer) -> bool:
+    """True for balancers that track only *unsafe* connections, i.e. the
+    ones Theorem 4.2's |H|/(|W|+|H|) expectation applies to."""
+    from repro.core.jet import JETLoadBalancer
+
+    return isinstance(balancer, JETLoadBalancer)
+
+
+def observed_tracked_fraction(registry) -> Optional[float]:
+    """Tracked-on-first-dispatch flows over all flows, or None if unknown."""
+    flows = registry.value(FLOWS)
+    tracked = registry.value(TRACKED_FLOWS)
+    if not flows:
+        return None
+    return (tracked or 0) / flows

@@ -1,0 +1,214 @@
+"""Live invariant monitors: check the paper's theory against telemetry.
+
+Each monitor reads only registry series (never the dataplane directly),
+so the same checks run identically over a live run, a replayed JSONL
+artifact, or a synthetic registry in tests.  A monitor returns a
+:class:`MonitorResult` that is ``ok``, a *violation*, or *skipped*
+(required series absent -- e.g. the tracked-fraction check on a
+stateless balancer that publishes no expectation gauge).
+
+The three default monitors and the claims they guard:
+
+- :class:`TrackedFractionMonitor` -- Theorems 4.2/4.3: the observed
+  fraction of connections JET tracks must lie within a configurable
+  relative tolerance of ``|H|/(|W|+|H|)``.
+- :class:`PCCAccountingMonitor` -- accounting consistency: PCC
+  violations plus inevitably-broken connections cannot exceed the flows
+  that were exposed to churn (each backend event can break at most the
+  connections active when it fired).
+- :class:`OccupancyBoundMonitor` -- the CT never exceeds its capacity
+  bound, and its high-water mark never exceeds total inserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence
+
+from repro.obs import collectors as M
+from repro.obs.collectors import observed_tracked_fraction
+
+#: Default relative tolerance for the tracked-fraction check (the
+#: acceptance bar: observed within 10% of |H|/(|W|+|H|)).
+DEFAULT_TOLERANCE = 0.10
+
+#: Below this many flows the binomial noise on the tracked fraction
+#: swamps any tolerance worth enforcing; the monitor skips instead.
+MIN_FLOWS = 200
+
+
+@dataclass
+class MonitorResult:
+    """Outcome of one invariant check."""
+
+    name: str
+    ok: bool
+    skipped: bool = False
+    observed: Optional[float] = None
+    expected: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def violated(self) -> bool:
+        return not self.ok and not self.skipped
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_json(payload: dict) -> "MonitorResult":
+        return MonitorResult(**payload)
+
+
+def _skip(name: str, why: str) -> MonitorResult:
+    return MonitorResult(name=name, ok=True, skipped=True, detail=why)
+
+
+class InvariantMonitor:
+    """Base: a named check over registry series."""
+
+    name = "invariant"
+
+    def evaluate(self, registry) -> MonitorResult:
+        raise NotImplementedError
+
+
+class TrackedFractionMonitor(InvariantMonitor):
+    """Observed tracked fraction within ``tolerance`` of |H|/(|W|+|H|)."""
+
+    name = "tracked_fraction"
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE, min_flows: int = MIN_FLOWS):
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.tolerance = tolerance
+        self.min_flows = min_flows
+
+    def evaluate(self, registry) -> MonitorResult:
+        expected = registry.value(M.EXPECTED_TRACKED_FRACTION)
+        if expected is None or expected <= 0:
+            return _skip(self.name, "no expectation published (not a JET run)")
+        flows = registry.value(M.FLOWS) or 0
+        if flows < self.min_flows:
+            return _skip(self.name, f"only {flows:.0f} flows (< {self.min_flows})")
+        observed = observed_tracked_fraction(registry)
+        if observed is None:
+            return _skip(self.name, "tracked-flow series absent")
+        error = abs(observed - expected) / expected
+        return MonitorResult(
+            name=self.name,
+            ok=error <= self.tolerance,
+            observed=observed,
+            expected=expected,
+            detail=(
+                f"|{observed:.4f} - {expected:.4f}| / {expected:.4f} "
+                f"= {error:.3f} (tolerance {self.tolerance})"
+            ),
+        )
+
+
+class PCCAccountingMonitor(InvariantMonitor):
+    """violations + inevitably-broken <= flows exposed to churn."""
+
+    name = "pcc_accounting"
+
+    def evaluate(self, registry) -> MonitorResult:
+        exposed = registry.value(M.CHURN_EXPOSED)
+        if exposed is None:
+            return _skip(self.name, "churn-exposure series absent")
+        violations = registry.value(M.PCC_VIOLATIONS) or 0
+        inevitable = registry.value(M.INEVITABLY_BROKEN) or 0
+        broken = violations + inevitable
+        return MonitorResult(
+            name=self.name,
+            ok=broken <= exposed,
+            observed=broken,
+            expected=exposed,
+            detail=(
+                f"violations {violations:.0f} + inevitable {inevitable:.0f} "
+                f"vs churn-exposed {exposed:.0f}"
+            ),
+        )
+
+
+class OccupancyBoundMonitor(InvariantMonitor):
+    """CT occupancy high-water mark respects its bounds."""
+
+    name = "ct_occupancy_bound"
+
+    def evaluate(self, registry) -> MonitorResult:
+        peak = registry.value(M.CT_OCCUPANCY_PEAK)
+        if peak is None:
+            return _skip(self.name, "no CT occupancy series (stateless run)")
+        capacity = registry.value(M.CT_CAPACITY)
+        inserts = registry.value(M.CT_INSERTS)
+        # Bounded tables must honour capacity; any table's peak can never
+        # exceed the number of entries ever inserted.
+        bound = capacity if capacity is not None else inserts
+        if bound is None:
+            return _skip(self.name, "no capacity or insert series to bound by")
+        label = "capacity" if capacity is not None else "total inserts"
+        return MonitorResult(
+            name=self.name,
+            ok=peak <= bound,
+            observed=peak,
+            expected=bound,
+            detail=f"peak occupancy {peak:.0f} vs {label} {bound:.0f}",
+        )
+
+
+class MonitorSuite:
+    """A bundle of monitors evaluated together after (or during) a run."""
+
+    def __init__(self, monitors: Optional[Sequence[InvariantMonitor]] = None):
+        self.monitors: List[InvariantMonitor] = (
+            list(monitors) if monitors is not None else default_monitors()
+        )
+
+    def evaluate(self, registry) -> List[MonitorResult]:
+        return [monitor.evaluate(registry) for monitor in self.monitors]
+
+    @staticmethod
+    def violations(results: Sequence[MonitorResult]) -> List[MonitorResult]:
+        return [r for r in results if r.violated]
+
+    @staticmethod
+    def render(results: Sequence[MonitorResult]) -> str:
+        lines = []
+        for r in results:
+            status = "SKIP" if r.skipped else ("ok" if r.ok else "VIOLATION")
+            lines.append(f"  [{status:>9}] {r.name}: {r.detail}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def to_json(results: Sequence[MonitorResult]) -> List[dict]:
+        return [r.to_json() for r in results]
+
+
+def default_monitors(tolerance: float = DEFAULT_TOLERANCE) -> List[InvariantMonitor]:
+    return [
+        TrackedFractionMonitor(tolerance=tolerance),
+        PCCAccountingMonitor(),
+        OccupancyBoundMonitor(),
+    ]
+
+
+def evaluate_and_export(
+    registry,
+    t: float = 0.0,
+    tolerance: float = DEFAULT_TOLERANCE,
+    monitors: Optional[Sequence[InvariantMonitor]] = None,
+) -> List[MonitorResult]:
+    """Evaluate the suite and emit the final snapshot to all exporters.
+
+    The closing JSONL line carries ``final: true`` plus the serialized
+    monitor results, which is what ``repro obs summarize --strict`` (and
+    the CI invariant gate) reads back.
+    """
+    registry.collect()
+    suite = MonitorSuite(monitors or default_monitors(tolerance=tolerance))
+    results = suite.evaluate(registry)
+    registry.export_snapshot(
+        t=t, final=True, invariants=MonitorSuite.to_json(results)
+    )
+    return results

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import heapq
 import random
-import time as _time
 from itertools import count
 from typing import Dict, List, Optional, Set
 
@@ -33,6 +32,10 @@ import numpy as np
 
 from repro.core.interfaces import LoadBalancer, Name
 from repro.hashing.mix import splitmix64
+from repro.obs import metrics as obs_metrics
+from repro.obs.collectors import instrument_balancer
+from repro.obs.registry import coalesce
+from repro.obs.timers import Stopwatch
 from repro.sim.backend import HorizonManager
 from repro.sim.distributions import Distribution
 from repro.sim.metrics import LoadTracker, SimResult
@@ -65,10 +68,22 @@ class EventDrivenSimulation:
         warmup_s: Optional[float] = None,
         injector=None,
         coalesce_packets: bool = False,
+        registry=None,
     ):
         self.lb = balancer
         self.injector = injector
         self.coalesce_packets = coalesce_packets
+        # Observability: a NullRegistry by default.  Per-packet handlers
+        # stay uninstrumented; obs work happens only at sample events and
+        # finalization (plus one guarded delta-read per *first* packet),
+        # so a disabled run pays nothing and a live run pays O(samples).
+        self.obs = coalesce(registry)
+        self._obs_on = self.obs.enabled
+        if self._obs_on:
+            instrument_balancer(self.obs, balancer)
+        self._first_dispatches = 0
+        self._first_tracked = 0
+        self._batched_packets = 0
         # Resolve the per-packet LB capability probes once: these getattr
         # probes used to run on every packet of the hot loop.
         self._note_flow_start = getattr(balancer, "note_flow_start", None)
@@ -111,6 +126,7 @@ class EventDrivenSimulation:
         ct = getattr(balancer, "ct", None)
         clock = getattr(ct, "clock", None)
         self._sim_clock = clock if isinstance(clock, _SimClock) else None
+        self._ct_stats = ct.stats if ct is not None else None
 
     # ----------------------------------------------------------- events
     def _push(self, when: float, kind: int, payload=None) -> None:
@@ -152,6 +168,9 @@ class EventDrivenSimulation:
         time (downtime, or the given override, plus any probation delay)."""
         self._mark_down(name)
         self.result.removals += 1
+        # Churn exposure: this event can break at most the flows active
+        # right now (the invariant-monitor bound on PCC accounting).
+        self.result.churn_exposed_flows += self._load.active_flows
         # Connections to the victim are inevitably broken (Section 2.1).
         doomed = self._flows_by_server.pop(name, set())
         for flow in doomed:
@@ -182,6 +201,7 @@ class EventDrivenSimulation:
         self.result.predicted_unannounced_breakage += self._load.active_flows / (
             len(self._up) + 1
         )
+        self.result.churn_exposed_flows += self._load.active_flows
         self.lb.force_add_working_server(name)
         self._mark_up(name)
         self.result.unannounced_additions += 1
@@ -189,7 +209,7 @@ class EventDrivenSimulation:
 
     # ------------------------------------------------------------- run
     def run(self) -> SimResult:
-        started = _time.perf_counter()
+        watch = Stopwatch()
         self._push(self.workload.next_arrival_gap(), _ARRIVAL)
         if self._removal_rate > 0:
             self._push(self._rng.expovariate(self._removal_rate), _REMOVAL)
@@ -229,7 +249,11 @@ class EventDrivenSimulation:
                 self._on_sample(when)
 
         self._finalize()
-        self.result.wall_seconds = _time.perf_counter() - started
+        self.result.wall_seconds = watch.stop()
+        if self._obs_on:
+            self.obs.histogram(
+                obs_metrics.WALL_SECONDS, "Wall time by phase", phase="simulate"
+            ).observe(self.result.wall_seconds)
         return self.result
 
     # --------------------------------------------------------- handlers
@@ -276,6 +300,7 @@ class EventDrivenSimulation:
                 established.append(flow)
         if not established:
             return
+        self._batched_packets += len(established)
         keys = np.fromiter(
             (flow.key for flow in established), dtype=np.uint64, count=len(established)
         )
@@ -294,10 +319,19 @@ class EventDrivenSimulation:
     def _dispatch_first_packet(self, flow: Flow) -> None:
         # First packet (TCP SYN): load-aware LBs may run their
         # new-connection placement here (Section 6.3).
+        if self._obs_on:
+            # Per-connection tracked-fraction telemetry: a CT insert
+            # during the first dispatch means this flow was classified
+            # unsafe.  Gated so disabled runs skip even the delta read.
+            stats = self._ct_stats
+            inserts_before = stats.inserts if stats is not None else 0
+            self._first_dispatches += 1
         if self._syn_aware:
             destination = self.lb.get_destination(flow.key, True)
         else:
             destination = self.lb.get_destination(flow.key)
+        if self._obs_on and stats is not None and stats.inserts > inserts_before:
+            self._first_tracked += 1
         flow.true_destination = destination
         self._load.flow_started(destination)
         if self._note_flow_start is not None:
@@ -343,6 +377,7 @@ class EventDrivenSimulation:
     def _on_recovery(self, server: Name) -> None:
         self._mark_up(server)
         self.result.additions += 1
+        self.result.churn_exposed_flows += self._load.active_flows
         self.manager.recover_server(server)
         if server in self._probated:
             self._probated.discard(server)
@@ -361,6 +396,9 @@ class EventDrivenSimulation:
         self.result.sample_times.append(now)
         if tracked > self.result.peak_tracked:
             self.result.peak_tracked = tracked
+        if self._obs_on:
+            self._publish_telemetry()
+            self.obs.export_snapshot(t=now)
         # Re-arm only while the next sample still lands inside the run:
         # an unconditional re-push leaks one past-the-end event per run
         # and, worse, kept the sample chain alive in the heap on long
@@ -368,6 +406,46 @@ class EventDrivenSimulation:
         # loop drops events past duration_s).
         if now + self.sample_interval <= self.duration_s:
             self._push(now + self.sample_interval, _SAMPLE)
+
+    def _publish_telemetry(self) -> None:
+        """Flush the engine's own tallies into the registry (the CT/CH
+        series come from collectors at snapshot time)."""
+        obs = self.obs
+        result = self.result
+        obs.counter(obs_metrics.FLOWS, "Flows dispatched").set_total(
+            self._first_dispatches
+        )
+        obs.counter(
+            obs_metrics.TRACKED_FLOWS, "Flows tracked at first dispatch"
+        ).set_total(self._first_tracked)
+        if self._first_dispatches:
+            obs.gauge(
+                obs_metrics.OBSERVED_TRACKED_FRACTION, "Observed tracked fraction"
+            ).set(self._first_tracked / self._first_dispatches)
+        obs.counter(obs_metrics.PCC_VIOLATIONS, "PCC violations").set_total(
+            result.pcc_violations
+        )
+        obs.counter(
+            obs_metrics.INEVITABLY_BROKEN, "Inevitably broken flows"
+        ).set_total(result.inevitably_broken)
+        obs.counter(
+            obs_metrics.CHURN_EXPOSED, "Flows exposed to backend churn (upper bound)"
+        ).set_total(result.churn_exposed_flows)
+        obs.counter(
+            obs_metrics.BACKEND_EVENTS, "Backend change events", kind="removal"
+        ).set_total(result.removals)
+        obs.counter(
+            obs_metrics.BACKEND_EVENTS, "Backend change events", kind="addition"
+        ).set_total(result.additions)
+        obs.counter(
+            obs_metrics.BACKEND_EVENTS, "Backend change events", kind="unannounced"
+        ).set_total(result.unannounced_additions)
+        obs.counter(
+            obs_metrics.DISPATCH_PACKETS, "Packets by dispatch path", path="batch"
+        ).set_total(self._batched_packets)
+        obs.counter(
+            obs_metrics.DISPATCH_PACKETS, "Packets by dispatch path", path="scalar"
+        ).set_total(result.packets_processed - self._batched_packets)
 
     def _finalize(self) -> None:
         result = self.result
@@ -377,6 +455,7 @@ class EventDrivenSimulation:
         if ct is not None:
             result.ct_evictions = ct.stats.evictions
             result.ct_hit_rate = ct.stats.hit_rate
+            result.ct_peak_size = ct.stats.peak_size
             if ct.stats.peak_size > result.peak_tracked:
                 result.peak_tracked = ct.stats.peak_size
         # LB-pool balancers expose their sync channel's degradation stats.
@@ -384,3 +463,5 @@ class EventDrivenSimulation:
         if channel is not None:
             result.sync_failures = channel.stats.lost_attempts
             result.unreplicated_entries = channel.stats.unreplicated
+        if self._obs_on:
+            self._publish_telemetry()

@@ -43,6 +43,14 @@ class SimResult:
     final_tracked: int = 0
     ct_evictions: int = 0
     ct_hit_rate: float = 0.0
+    #: CT occupancy high-water mark straight from ``CTStats.peak_size``
+    #: (``peak_tracked`` folds in the sampled series; this is the exact
+    #: per-insert mark, surfaced for the resilience report and obs layer).
+    ct_peak_size: int = 0
+    #: Upper bound on flows that churn could have broken: the sum of
+    #: active flows at each backend-change instant.  The PCC-accounting
+    #: invariant monitor checks violations + inevitable against it.
+    churn_exposed_flows: int = 0
     wall_seconds: float = 0.0
     # Resilience counters (zero unless a ChaosInjector drove the run).
     fault_events: int = 0

@@ -68,6 +68,8 @@ class SimulationConfig:
     fault_window_s: float = 10.0
     probation_base_s: float = 1.0
     probation_cap_s: float = 60.0
+    # Observability (repro.obs); None keeps the zero-cost NullRegistry path.
+    registry: Optional[object] = None  # repro.obs.Registry
 
     def with_(self, **changes) -> "SimulationConfig":
         """A copy with the given fields replaced (sweep helper)."""
@@ -134,6 +136,7 @@ def run_simulation(config: SimulationConfig) -> SimResult:
                 base_s=config.probation_base_s, cap_s=config.probation_cap_s
             ),
             fault_window_s=config.fault_window_s,
+            registry=config.registry,
         )
     sim = EventDrivenSimulation(
         balancer=balancer,
@@ -148,6 +151,7 @@ def run_simulation(config: SimulationConfig) -> SimResult:
         warmup_s=config.warmup_s,
         injector=injector,
         coalesce_packets=config.coalesce_packets,
+        registry=config.registry,
     )
     return sim.run()
 

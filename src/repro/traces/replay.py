@@ -21,13 +21,15 @@ churn (used by integration tests and the extensions bench).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.interfaces import LoadBalancer, Name
+from repro.obs import metrics as obs_metrics
+from repro.obs.registry import coalesce
+from repro.obs.timers import Stopwatch
 from repro.traces.base import Trace
 
 #: An injected event: (packet_index, callable applied to the balancer).
@@ -48,6 +50,8 @@ class ReplayResult:
     pcc_violations: int
     inevitably_broken: int
     server_loads: Dict[Name, int] = field(default_factory=dict)
+    #: CT occupancy high-water mark over the replay (0 for stateless).
+    ct_peak_size: int = 0
 
     def row(self) -> str:
         return (
@@ -62,11 +66,19 @@ def replay(
     trace: Trace,
     balancer: LoadBalancer,
     events: Sequence[TraceEvent] = (),
+    metrics=None,
 ) -> ReplayResult:
     """Replay ``trace`` through ``balancer`` and measure the paper's metrics.
 
     ``events`` is an optional schedule of backend changes keyed by packet
     index (applied just before that packet is dispatched).
+
+    ``metrics`` is an optional :class:`repro.obs.registry.Registry`.  All
+    instrumentation happens *after* the dispatch loop (counters published
+    from the loop's own tallies), so the loop is identical with metrics
+    off, disabled (NullRegistry), or live -- the differential suite holds
+    all three to the same decisions, and the throughput experiment's
+    obs-overhead gate holds disabled to >= 0.95x uninstrumented.
     """
     keys: List[int] = [int(k) for k in trace.flow_keys]
     packet_flows: List[int] = trace.packets.tolist()
@@ -83,7 +95,7 @@ def replay(
     # and a new-connection (TCP SYN) signal on each flow's first packet.
     note_flow_start = getattr(balancer, "note_flow_start", None)
     syn_aware = getattr(balancer, "dispatches_new_connections", False)
-    started = time.perf_counter()
+    watch = Stopwatch()
     if not event_queue and not syn_aware:
         # Hot path: no churn, skip per-packet event checks.
         for flow_index in packet_flows:
@@ -96,7 +108,7 @@ def replay(
             elif destination != previous and not broken[flow_index]:
                 broken[flow_index] = 1
                 violations += 1
-        wall = time.perf_counter() - started
+        wall = watch.stop()
     else:
         for packet_index, flow_index in enumerate(packet_flows):
             while next_event < len(event_queue) and event_queue[next_event][0] <= packet_index:
@@ -117,9 +129,11 @@ def replay(
                     violations += 1
                 else:
                     inevitable += 1
-        wall = time.perf_counter() - started
+        wall = watch.stop()
 
-    return _build_result(trace, balancer, first_destination, violations, inevitable, wall)
+    result = _build_result(trace, balancer, first_destination, violations, inevitable, wall)
+    _publish_metrics(metrics, balancer, result, path="scalar", n_events=len(event_queue))
+    return result
 
 
 def _build_result(
@@ -141,6 +155,7 @@ def _build_result(
     average = dispatched_flows / active_servers if active_servers else 0.0
     oversubscription = max(loads.values()) / average if loads and average else 0.0
 
+    ct = getattr(balancer, "ct", None)
     return ReplayResult(
         trace_name=trace.name,
         n_flows=trace.n_flows,
@@ -152,7 +167,52 @@ def _build_result(
         pcc_violations=violations,
         inevitably_broken=inevitable,
         server_loads=loads,
+        ct_peak_size=ct.stats.peak_size if ct is not None else 0,
     )
+
+
+def _publish_metrics(
+    metrics, balancer: LoadBalancer, result: ReplayResult, path: str, n_events: int
+) -> None:
+    """Publish one replay's tallies to a registry (no-op when disabled).
+
+    The tracked-fraction series are only published for churn-free
+    replays: with injected backend events, CT inserts include re-tracks
+    after invalidation and no longer count distinct unsafe flows, so the
+    Theorem 4.2 comparison would be against the wrong denominator.
+    """
+    registry = coalesce(metrics)
+    if not registry.enabled:
+        return
+    obs_metrics.instrument_balancer(registry, balancer)
+    dispatched = sum(result.server_loads.values())
+    registry.counter(obs_metrics.FLOWS, "Flows dispatched").inc(dispatched)
+    registry.counter(obs_metrics.PCC_VIOLATIONS, "PCC violations").inc(
+        result.pcc_violations
+    )
+    registry.counter(obs_metrics.INEVITABLY_BROKEN, "Inevitably broken flows").inc(
+        result.inevitably_broken
+    )
+    # Loose exposure bound: each injected event can touch at most every
+    # dispatched flow.  Zero events means zero exposure, which is what
+    # makes the PCC-accounting monitor a real check on quiet replays.
+    registry.counter(
+        obs_metrics.CHURN_EXPOSED, "Flows exposed to backend churn (upper bound)"
+    ).inc(n_events * dispatched)
+    registry.counter(
+        obs_metrics.DISPATCH_PACKETS, "Packets by dispatch path", path=path
+    ).inc(result.n_packets)
+    registry.histogram(
+        obs_metrics.WALL_SECONDS, "Wall time by phase", phase="replay"
+    ).observe(result.wall_seconds)
+    ct = getattr(balancer, "ct", None)
+    if n_events == 0 and ct is not None and dispatched:
+        registry.counter(
+            obs_metrics.TRACKED_FLOWS, "Flows tracked at first dispatch"
+        ).inc(ct.stats.inserts)
+        registry.gauge(
+            obs_metrics.OBSERVED_TRACKED_FRACTION, "Observed tracked fraction"
+        ).set(ct.stats.inserts / dispatched)
 
 
 DEFAULT_CHUNK = 8192
@@ -163,6 +223,7 @@ def replay_batch(
     balancer: LoadBalancer,
     events: Sequence[TraceEvent] = (),
     chunk_size: int = DEFAULT_CHUNK,
+    metrics=None,
 ) -> ReplayResult:
     """Replay ``trace`` through the LB's batched dispatch path.
 
@@ -184,9 +245,9 @@ def replay_batch(
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
     if getattr(balancer, "dispatches_new_connections", False):
-        return replay(trace, balancer, events)
+        return replay(trace, balancer, events, metrics=metrics)
     if not getattr(balancer, "batch_effective", False):
-        return replay(trace, balancer, events)
+        return replay(trace, balancer, events, metrics=metrics)
 
     keys = np.ascontiguousarray(trace.flow_keys, dtype=np.uint64)
     packets = trace.packets
@@ -203,7 +264,7 @@ def replay_batch(
     next_event = 0
     note_flow_start = getattr(balancer, "note_flow_start", None)
 
-    started = time.perf_counter()
+    watch = Stopwatch()
     position = 0
     while position < n_packets:
         while next_event < len(event_queue) and event_queue[next_event][0] <= position:
@@ -230,6 +291,8 @@ def replay_batch(
                 else:
                     inevitable += 1
         position = end
-    wall = time.perf_counter() - started
+    wall = watch.stop()
 
-    return _build_result(trace, balancer, first_destination, violations, inevitable, wall)
+    result = _build_result(trace, balancer, first_destination, violations, inevitable, wall)
+    _publish_metrics(metrics, balancer, result, path="batch", n_events=len(event_queue))
+    return result
