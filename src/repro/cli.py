@@ -62,7 +62,8 @@ def _close_metrics(args: argparse.Namespace, registry, exporter, t: float = 0.0)
 
 def _experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
-        extensions, fig3, fig4, fig5, fig6, fig7, lb_pool, resilience, table12, theory,
+        control_loop, extensions, fig3, fig4, fig5, fig6, fig7, lb_pool,
+        resilience, table12, theory,
     )
 
     runners = {
@@ -77,6 +78,7 @@ def _experiment(args: argparse.Namespace) -> int:
         "extensions": extensions.main,
         "lbpool": lb_pool.main,
         "resilience": lambda: resilience.main(args.scale, seed=args.seed),
+        "control-loop": lambda: control_loop.main(args.scale, seed=args.seed),
     }
     names = list(runners) if args.name == "all" else [args.name]
     for name in names:
@@ -90,7 +92,10 @@ def _simulate(args: argparse.Namespace) -> int:
     fault_schedule = None
     if any(
         rate > 0
-        for rate in (args.crash_rate, args.flap_rate, args.group_rate, args.unannounced_rate)
+        for rate in (
+            args.crash_rate, args.flap_rate, args.group_rate, args.unannounced_rate,
+            args.probe_loss_rate, args.gossip_partition_rate, args.stale_autoscaler_rate,
+        )
     ):
         from repro.faults import FaultSchedule
 
@@ -101,8 +106,30 @@ def _simulate(args: argparse.Namespace) -> int:
             flap_rate_per_min=args.flap_rate,
             group_rate_per_min=args.group_rate,
             unannounced_rate_per_min=args.unannounced_rate,
+            probe_loss_rate_per_min=args.probe_loss_rate,
+            gossip_partition_rate_per_min=args.gossip_partition_rate,
+            stale_autoscaler_rate_per_min=args.stale_autoscaler_rate,
             group_size=args.group_size,
         )
+    rate_profile = None
+    if args.flash_crowd is not None:
+        from repro.sim.workload import RateProfile
+
+        start, ramp, magnitude = args.flash_crowd
+        rate_profile = RateProfile.flash_crowd(
+            start=start, ramp_s=ramp, magnitude=magnitude, hold_s=args.flash_hold
+        )
+    elif args.diurnal is not None:
+        from repro.sim.workload import RateProfile
+
+        rate_profile = RateProfile.diurnal(
+            period_s=args.diurnal, amplitude=args.diurnal_amplitude
+        )
+    duration_dist = None
+    if args.flow_duration is not None:
+        from repro.sim.distributions import Exponential
+
+        duration_dist = Exponential(args.flow_duration)
     registry, exporter = _open_metrics(args)
     config = SimulationConfig(
         duration_s=args.duration,
@@ -116,10 +143,21 @@ def _simulate(args: argparse.Namespace) -> int:
         mode=args.mode,
         ch_family=args.family,
         seed=args.seed,
+        duration_dist=duration_dist,
         downtime_dist=LogNormal(median=args.downtime, sigma=0.8),
         fault_schedule=fault_schedule,
         probation_base_s=args.probation_base,
         registry=registry,
+        control=args.control,
+        control_interval_s=args.control_interval,
+        scale_lead_time_s=args.lead_time,
+        forecast_precision=args.forecast_precision,
+        forecast_recall=args.forecast_recall,
+        autoscale_max=args.autoscale_max,
+        probe_fail_threshold=args.probe_fail_threshold,
+        probe_recover_threshold=args.probe_recover_threshold,
+        probe_loss_probability=args.probe_loss,
+        rate_profile=rate_profile,
     )
     result = run_simulation(config)
     print(result.summary())
@@ -212,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig3", "fig4", "fig5", "fig6", "fig7",
             "table1", "table2", "theory", "extensions", "lbpool",
-            "resilience", "all",
+            "resilience", "control-loop", "all",
         ],
     )
     exp.add_argument("--scale", choices=["smoke", "default", "paper"], default=None)
@@ -250,6 +288,50 @@ def build_parser() -> argparse.ArgumentParser:
                      help="unannounced (horizon-bypassing) additions per minute")
     sim.add_argument("--probation-base", type=float, default=1.0,
                      help="base probation backoff for repeat failures (s)")
+    # Closed-loop control plane (repro.control) -- default off.
+    sim.add_argument("--control", action="store_true",
+                     help="run the closed loop: health-probed membership "
+                          "plus an autoscaler whose pending launches ARE "
+                          "the JET horizon")
+    sim.add_argument("--control-interval", type=float, default=0.5,
+                     help="control tick / probe interval (s)")
+    sim.add_argument("--lead-time", type=float, default=5.0,
+                     help="autoscaler launch lead time (s); also the "
+                          "window a horizon announcement anticipates")
+    sim.add_argument("--forecast-precision", type=float, default=1.0,
+                     help="P(an announcement is real); below 1.0 the "
+                          "autoscaler also emits phantom announcements")
+    sim.add_argument("--forecast-recall", type=float, default=1.0,
+                     help="P(a real launch was announced); below 1.0 some "
+                          "joins arrive unannounced (surprise additions)")
+    sim.add_argument("--autoscale-max", type=int, default=8,
+                     help="cap on autoscaled servers beyond the baseline")
+    sim.add_argument("--probe-fail-threshold", type=int, default=3,
+                     help="consecutive failed probes before eviction")
+    sim.add_argument("--probe-recover-threshold", type=int, default=2,
+                     help="consecutive good probes before readmission")
+    sim.add_argument("--probe-loss", type=float, default=0.0,
+                     help="baseline probe loss probability")
+    # Control-plane chaos (needs --control to have any effect).
+    sim.add_argument("--probe-loss-rate", type=float, default=0.0,
+                     help="probe-loss fault windows per minute")
+    sim.add_argument("--gossip-partition-rate", type=float, default=0.0,
+                     help="gossip partitions per minute (pool runs)")
+    sim.add_argument("--stale-autoscaler-rate", type=float, default=0.0,
+                     help="stale-autoscaler-signal windows per minute")
+    # Time-varying workload.
+    sim.add_argument("--flash-crowd", type=float, nargs=3, default=None,
+                     metavar=("START", "RAMP", "MAGNITUDE"),
+                     help="flash-crowd rate profile: ramp to MAGNITUDE x "
+                          "baseline over RAMP seconds starting at START")
+    sim.add_argument("--flash-hold", type=float, default=10.0,
+                     help="seconds the flash crowd holds its peak")
+    sim.add_argument("--diurnal", type=float, default=None, metavar="PERIOD",
+                     help="diurnal sine rate profile with this period (s)")
+    sim.add_argument("--diurnal-amplitude", type=float, default=0.5)
+    sim.add_argument("--flow-duration", type=float, default=None,
+                     help="mean of an exponential flow-duration dist "
+                          "(default: the paper's Hadoop distribution)")
     _add_metrics_args(sim)
     sim.set_defaults(func=_simulate)
 

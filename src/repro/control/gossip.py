@@ -1,0 +1,380 @@
+"""Gossip-based eventually-consistent CT replication for LB pools.
+
+The point-to-point :class:`~repro.faults.channel.SyncChannel` offers every
+CT insert to every peer individually: O(n) messages per insert, and a
+peer that crashes or partitions simply loses its pending deliveries.
+That is fine for a handful of LBs; a large pool on a flaky control
+network wants the classic epidemic alternative (the pattern Charon-style
+UDP sync and most service meshes use):
+
+- every member assigns its own CT inserts **versioned sequence numbers**
+  (an append-only per-origin delta log; a deletion is a **tombstone**
+  entry, applied as ``ct.delete`` at peers);
+- once per **round** (every ``round_lookups`` pool lookups) each live
+  member pushes, to ``fanout`` random peers, every delta *it* knows that
+  the peer's per-origin watermark has not covered -- members forward
+  third-party deltas, which is what makes dissemination epidemic
+  (O(log n) rounds to reach everyone);
+- a lost push (probability ``loss_probability``, seeded RNG) backs the
+  (src, dst) pair off exponentially **with jitter drawn from the same
+  RNG**, so retry storms decorrelate after a partition heals;
+- a member that was partitioned (or that joins fresh) is repaired by
+  **anti-entropy**: its watermarks simply stopped advancing, so the next
+  rounds re-send exactly the missed suffix -- no separate repair protocol,
+  and the repaired entries are counted in ``stats.anti_entropy``;
+- a member that **crashes** takes state with it: deltas it originated
+  that no live member had applied yet are gone (``stats.unreplicated``),
+  and deltas still in flight to it are voided (``stats.dropped_targets``);
+  both show up in ``stats.lost``, the accounted un-replicated bill.
+
+Convergence is measurable: :meth:`GossipSync.staleness` is the total
+number of (member, delta) pairs still undelivered across live members --
+the sync-staleness bound the invariant monitor checks goes to zero after
+:meth:`drain` (or enough quiet rounds).
+
+``GossipSync`` plugs into :class:`~repro.core.lb_pool.LBPool` as the
+``sync=`` channel: it exposes the same ``stats`` / ``on_lookup`` /
+``forget_target`` / ``drain`` surface as ``SyncChannel`` plus the
+origin-based ``offer`` entry point (``origin_based = True`` tells the
+pool to report *who* inserted, which gossip needs and point-to-point
+replication does not).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.channel import SyncStats
+from repro.hashing.mix import splitmix64
+
+
+@dataclass
+class GossipStats(SyncStats):
+    """:class:`SyncStats` plus the gossip-specific counters."""
+
+    rounds: int = 0            # gossip rounds run
+    pushes: int = 0            # (src, dst) exchanges attempted
+    lost_pushes: int = 0       # exchanges the network dropped
+    tombstones: int = 0        # deletion deltas applied at peers
+    #: Sum / count of dissemination lag in rounds (delta creation ->
+    #: application at a peer), for the convergence-lag report.
+    lag_rounds_sum: int = 0
+    lag_rounds_count: int = 0
+
+    @property
+    def mean_lag_rounds(self) -> float:
+        return (
+            self.lag_rounds_sum / self.lag_rounds_count
+            if self.lag_rounds_count
+            else 0.0
+        )
+
+
+@dataclass
+class _Delta:
+    """One versioned CT change from an origin's append-only log."""
+
+    key: int
+    destination: object
+    tombstone: bool
+    born_round: int
+
+
+class _MemberState:
+    __slots__ = ("member", "log", "partitioned", "repairing")
+
+    def __init__(self, member):
+        self.member = member
+        self.log: List[_Delta] = []
+        self.partitioned = False
+        self.repairing = False
+
+
+class GossipSync:
+    """Fanout-k epidemic CT replication with versioned per-origin logs."""
+
+    #: Tells :class:`LBPool` to call :meth:`offer` (with the inserting
+    #: member) instead of target-list ``replicate``.
+    origin_based = True
+
+    def __init__(
+        self,
+        fanout: int = 2,
+        round_lookups: int = 32,
+        loss_probability: float = 0.0,
+        backoff_rounds: int = 1,
+        seed: int = 0,
+    ):
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if round_lookups < 1:
+            raise ValueError("round_lookups must be >= 1")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if backoff_rounds < 1:
+            raise ValueError("backoff_rounds must be >= 1")
+        self.fanout = fanout
+        self.round_lookups = round_lookups
+        self.loss_probability = loss_probability
+        self.backoff_rounds = backoff_rounds
+        self.stats = GossipStats()
+        self._rng = random.Random(splitmix64(seed ^ 0x6055_1234))
+        self._members: List[_MemberState] = []
+        self._by_member: Dict[object, _MemberState] = {}
+        # applied[(dst_state, origin_state)] -> highest contiguous seq
+        # (1-based index into origin.log) that dst has applied.
+        self._applied: Dict[Tuple[int, int], int] = {}
+        # Retired origins whose logs live members may still forward.
+        self._ghost_logs: List[_MemberState] = []
+        # (src_id, dst_id) -> (skip_until_round, consecutive_losses).
+        self._defer: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._lookups = 0
+        self._round = 0
+
+    # --------------------------------------------------------- membership
+    def register_member(self, member) -> None:
+        """Start gossiping with ``member``.  A fresh member's watermarks
+        are zero, so anti-entropy pushes it the full pool state."""
+        if member in self._by_member:
+            return
+        state = _MemberState(member)
+        self._members.append(state)
+        self._by_member[member] = state
+        if self.staleness_of(member) > 0 or self._has_any_deltas():
+            state.repairing = True
+
+    def _has_any_deltas(self) -> bool:
+        return any(s.log for s in self._members + self._ghost_logs)
+
+    def forget_target(self, member) -> int:
+        """A member crashed or was removed: void deliveries to it and
+        account the deltas only it held.  Returns the voided count."""
+        state = self._by_member.pop(member, None)
+        if state is None:
+            return 0
+        self._members.remove(state)
+        # Deliveries still owed *to* the dead member are voided.
+        owed = self.staleness_of(member, state=state)
+        self.stats.dropped_targets += owed
+        # Deltas it originated that no live member has applied are gone;
+        # truncate its log to the highest live watermark and keep the rest
+        # forwardable by survivors (ghost log).
+        reached = max(
+            (
+                self._applied.get((id(peer), id(state)), 0)
+                for peer in self._members
+            ),
+            default=0,
+        )
+        lost_tail = len(state.log) - reached
+        if lost_tail > 0:
+            self.stats.unreplicated += lost_tail
+            del state.log[reached:]
+        if state.log:
+            self._ghost_logs.append(state)
+        self._defer = {
+            pair: value
+            for pair, value in self._defer.items()
+            if id(state) not in pair
+        }
+        return owed
+
+    def partition_member(self, member) -> None:
+        """Cut ``member`` out of gossip (it keeps serving traffic)."""
+        state = self._by_member.get(member)
+        if state is not None:
+            state.partitioned = True
+
+    def heal_member(self, member) -> None:
+        """Re-admit a partitioned member; the missed suffix flows back via
+        anti-entropy (its watermarks never advanced)."""
+        state = self._by_member.get(member)
+        if state is not None and state.partitioned:
+            state.partitioned = False
+            if self.staleness_of(member, state=state) > 0:
+                state.repairing = True
+
+    # ------------------------------------------------------------ sending
+    def offer(self, origin, key: int, destination, tombstone: bool = False) -> None:
+        """Record one CT change at its origin; rounds disseminate it."""
+        state = self._by_member.get(origin)
+        if state is None:
+            return
+        state.log.append(_Delta(key, destination, tombstone, self._round))
+        self.stats.offered += max(len(self._live()) - 1, 0)
+
+    def replicate(self, key: int, destination, targets) -> None:
+        """Target-list compatibility shim (used by tests/tools that treat
+        any channel uniformly): attribute the insert to the first
+        registered member not in ``targets``."""
+        for state in self._members:
+            if state.member not in targets:
+                self.offer(state.member, key, destination)
+                return
+
+    # ----------------------------------------------------------- delivery
+    def on_lookup(self) -> None:
+        self._lookups += 1
+        if self._lookups % self.round_lookups == 0:
+            self.run_round()
+
+    def _live(self) -> List[_MemberState]:
+        return [s for s in self._members if not s.partitioned]
+
+    def run_round(self) -> None:
+        """One gossip round: every live member pushes to ``fanout`` peers."""
+        self._round += 1
+        self.stats.rounds += 1
+        live = self._live()
+        if len(live) < 2:
+            return
+        for src in live:
+            peers = [s for s in live if s is not src]
+            count = min(self.fanout, len(peers))
+            for dst in self._rng.sample(peers, count):
+                self._push(src, dst)
+
+    def _push(self, src: _MemberState, dst: _MemberState) -> None:
+        pair = (id(src), id(dst))
+        skip_until, losses = self._defer.get(pair, (0, 0))
+        if self._round < skip_until:
+            return
+        payload = self._payload(src, dst)
+        if not payload:
+            self._defer.pop(pair, None)
+            return
+        self.stats.pushes += 1
+        self.stats.attempted += 1
+        if self._rng.random() < self.loss_probability:
+            self.stats.lost_pushes += 1
+            self.stats.lost_attempts += 1
+            self.stats.retries += 1
+            backoff = self.backoff_rounds * (1 << min(losses, 6))
+            backoff += self._rng.randrange(backoff)  # decorrelating jitter
+            self._defer[pair] = (self._round + backoff, losses + 1)
+            return
+        self._defer.pop(pair, None)
+        self._apply(dst, payload)
+
+    def _payload(self, src: _MemberState, dst: _MemberState):
+        """Deltas src can forward that dst's watermarks lack."""
+        out = []
+        for origin in self._members + self._ghost_logs:
+            have = (
+                len(origin.log)
+                if origin is src
+                else self._applied.get((id(src), id(origin)), 0)
+            )
+            if origin in self._ghost_logs and origin is not src:
+                # Survivors may forward a dead origin's log up to what
+                # they themselves applied (`have` already reflects that).
+                pass
+            need = self._applied.get((id(dst), id(origin)), 0)
+            if origin is dst:
+                continue  # a member trivially has its own log
+            if have > need:
+                out.append((origin, need, have))
+        return out
+
+    def _apply(self, dst: _MemberState, payload) -> None:
+        ct = getattr(dst.member, "ct", None)
+        repaired = 0
+        for origin, need, have in payload:
+            for seq in range(need + 1, have + 1):
+                delta = origin.log[seq - 1]
+                if ct is not None:
+                    if delta.tombstone:
+                        ct.delete(delta.key)
+                        self.stats.tombstones += 1
+                    else:
+                        ct.put(delta.key, delta.destination)
+                self.stats.delivered += 1
+                self.stats.lag_rounds_sum += self._round - delta.born_round
+                self.stats.lag_rounds_count += 1
+                repaired += 1
+            self._applied[(id(dst), id(origin))] = have
+        if dst.repairing and repaired:
+            self.stats.anti_entropy += repaired
+            if self.staleness_of(dst.member, state=dst) == 0:
+                dst.repairing = False
+
+    # --------------------------------------------------------- inspection
+    def staleness_of(self, member, state: Optional[_MemberState] = None) -> int:
+        """Deltas ``member`` has not yet applied (its convergence debt)."""
+        state = state or self._by_member.get(member)
+        if state is None:
+            return 0
+        debt = 0
+        for origin in self._members + self._ghost_logs:
+            if origin is state:
+                continue
+            debt += len(origin.log) - self._applied.get(
+                (id(state), id(origin)), 0
+            )
+        return debt
+
+    def staleness(self) -> int:
+        """Total undelivered (live member, delta) pairs -- 0 = converged."""
+        return sum(self.staleness_of(s.member, state=s) for s in self._live())
+
+    @property
+    def converged(self) -> bool:
+        return self.staleness() == 0
+
+    @property
+    def pending(self) -> int:
+        return self.staleness()
+
+    @property
+    def degraded(self) -> bool:
+        """True once un-replicated state exists (a member died holding
+        deltas nobody else had)."""
+        return self.stats.unreplicated > 0
+
+    def _available(self, origin: _MemberState) -> int:
+        """Highest sequence of ``origin``'s log any live member can push.
+
+        A partitioned origin's unforwarded suffix is unreachable until it
+        heals; survivors can forward a ghost origin's log only as far as
+        they themselves applied it."""
+        live = self._live()
+        if any(s is origin for s in live):
+            return len(origin.log)
+        return max(
+            (self._applied.get((id(src), id(origin)), 0) for src in live),
+            default=0,
+        )
+
+    def _reachable_staleness(self) -> int:
+        """The part of :meth:`staleness` gossip can still fix: debt on
+        deltas some live member holds.  The remainder is waiting on a
+        partition heal (or is gone with a crashed origin)."""
+        debt = 0
+        for state in self._live():
+            for origin in self._members + self._ghost_logs:
+                if origin is state:
+                    continue
+                have = self._applied.get((id(state), id(origin)), 0)
+                debt += max(self._available(origin) - have, 0)
+        return debt
+
+    # -------------------------------------------------------------- drain
+    def drain(self, max_rounds: int = 100_000) -> int:
+        """Run rounds (ignoring backoff deferrals) until every delta a
+        live member holds has reached every live member.  Returns the
+        number of rounds it took; loss still applies per push, so
+        convergence is stochastic but certain for ``loss_probability < 1``.
+        Debt behind an active partition is *not* waited on -- it drains
+        after :meth:`heal_member` (and :meth:`staleness` keeps reporting
+        it until then)."""
+        start = self._round
+        while self._reachable_staleness() > 0:
+            if self._round - start >= max_rounds:
+                raise RuntimeError("gossip drain did not converge")
+            self._defer.clear()
+            self.run_round()
+            if len(self._live()) < 2:
+                break
+        return self._round - start

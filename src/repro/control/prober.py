@@ -1,0 +1,183 @@
+"""Health-probe-driven membership: backends leave W on evidence.
+
+The seed simulator removes a crashed server from W by fiat -- the fault
+injector edits the membership directly, as if the dataplane had a perfect
+failure detector.  Real membership is *evidence-based*: a prober pings
+every working server each interval, a probe either answers within its
+timeout or it doesn't, and only ``fail_threshold`` consecutive misses
+evict the server.  Detection therefore lags the failure by roughly
+``fail_threshold * interval``, and during that lag the dataplane keeps
+dispatching flows at a dead server -- the blackhole window that
+closed-loop runs must (and do) account for.
+
+Probes themselves traverse the same flaky network: with
+``loss_probability`` (or a chaos-injected :meth:`degrade` window) a probe
+to a *healthy* server can be lost, and enough consecutive losses evict a
+live backend -- a false positive the consecutive-failure threshold is
+there to damp.  Readmission is symmetric: ``recover_threshold``
+consecutive successful probes mark the server recovered, then
+:class:`~repro.faults.health.HealthMonitor` probation (exponential
+backoff for repeat offenders) delays the actual rejoin, which arrives as
+a proper horizon addition.
+
+Everything is deterministic: one RNG seeded via ``splitmix64``, servers
+probed in sorted-name order, readmissions ordered by
+``(eligible_time, name)`` so two servers recovering in the same tick
+rejoin in a stable order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.interfaces import Name
+from repro.faults.health import HealthMonitor
+from repro.hashing.mix import splitmix64
+
+
+def _name_key(name: Name) -> str:
+    """Total order over names that may mix ints and strings (baseline
+    servers are ints; autoscaled ones are strings like ``auto3``)."""
+    return str(name)
+
+
+@dataclass
+class ProbeStats:
+    sent: int = 0
+    lost: int = 0            # probes the network dropped
+    failed: int = 0          # probes a dead server could not answer
+    evictions: int = 0       # servers removed from W on evidence
+    false_evictions: int = 0  # evictions of servers that were actually up
+    readmissions: int = 0
+
+
+@dataclass
+class _Target:
+    consecutive_failures: int = 0
+    consecutive_successes: int = 0
+    evicted: bool = False
+    eligible_at: float = 0.0  # earliest readmission time once recovered
+
+
+class HealthProber:
+    """Periodic probes with timeout semantics and probation readmission."""
+
+    def __init__(
+        self,
+        is_up: Callable[[Name], bool],
+        fail_threshold: int = 3,
+        recover_threshold: int = 2,
+        loss_probability: float = 0.0,
+        monitor: Optional[HealthMonitor] = None,
+        seed: int = 0,
+    ):
+        if fail_threshold < 1 or recover_threshold < 1:
+            raise ValueError("thresholds must be >= 1")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        #: Ground truth oracle: does the server answer a probe right now?
+        self.is_up = is_up
+        self.fail_threshold = fail_threshold
+        self.recover_threshold = recover_threshold
+        self.loss_probability = loss_probability
+        self.monitor = monitor or HealthMonitor()
+        self.stats = ProbeStats()
+        self._rng = random.Random(splitmix64(seed ^ 0x9B0B_ED00))
+        self._targets: Dict[Name, _Target] = {}
+        # Chaos window: extra loss probability until a deadline.
+        self._degraded_loss = 0.0
+        self._degraded_until = float("-inf")
+
+    # ------------------------------------------------------------- chaos
+    def degrade(self, loss_probability: float, until: float) -> None:
+        """Probe-loss chaos: raise the loss rate until ``until``."""
+        self._degraded_loss = loss_probability
+        self._degraded_until = until
+
+    def _loss_now(self, now: float) -> float:
+        if now < self._degraded_until:
+            # Independent loss sources compose: 1 - (1-a)(1-b).
+            return 1.0 - (1.0 - self.loss_probability) * (1.0 - self._degraded_loss)
+        return self.loss_probability
+
+    # ----------------------------------------------------------- probing
+    def watch(self, name: Name) -> None:
+        self._targets.setdefault(name, _Target())
+
+    def forget(self, name: Name) -> None:
+        self._targets.pop(name, None)
+
+    def probe_all(self, now: float) -> Tuple[List[Name], List[Name]]:
+        """Probe every watched server once; return (evict, readmit) lists.
+
+        ``evict``: servers that just crossed ``fail_threshold`` consecutive
+        failed probes -- remove them from W now.  ``readmit``: previously
+        evicted servers whose ``recover_threshold`` successes *and*
+        probation delay have both elapsed, ordered by
+        ``(eligible_time, name)``.
+        """
+        evict: List[Name] = []
+        ready: List[Tuple[float, Name]] = []
+        loss = self._loss_now(now)
+        for name in sorted(self._targets, key=_name_key):
+            target = self._targets[name]
+            self.stats.sent += 1
+            answered = self.is_up(name)
+            if answered and loss > 0.0 and self._rng.random() < loss:
+                answered = False
+                self.stats.lost += 1
+            elif not answered:
+                self.stats.failed += 1
+            if answered:
+                target.consecutive_failures = 0
+                target.consecutive_successes += 1
+                if (
+                    target.evicted
+                    and target.consecutive_successes == self.recover_threshold
+                ):
+                    # Recovery detected: probation starts counting now.
+                    delay = self.monitor.delay_for(self.monitor.failures(name))
+                    target.eligible_at = now + delay
+                if (
+                    target.evicted
+                    and target.consecutive_successes >= self.recover_threshold
+                    and now >= target.eligible_at
+                ):
+                    ready.append((target.eligible_at, name))
+            else:
+                target.consecutive_successes = 0
+                target.consecutive_failures += 1
+                if (
+                    not target.evicted
+                    and target.consecutive_failures >= self.fail_threshold
+                ):
+                    target.evicted = True
+                    self.stats.evictions += 1
+                    if self.is_up(name):
+                        self.stats.false_evictions += 1
+                    self.monitor.record_failure(name, now)
+                    evict.append(name)
+        readmit = [
+            name
+            for _, name in sorted(ready, key=lambda p: (p[0], _name_key(p[1])))
+        ]
+        for name in readmit:
+            target = self._targets[name]
+            target.evicted = False
+            target.consecutive_successes = 0
+            self.monitor.note_recovered(name, now)
+            self.stats.readmissions += 1
+        return evict, readmit
+
+    # ------------------------------------------------------------- state
+    def is_evicted(self, name: Name) -> bool:
+        target = self._targets.get(name)
+        return bool(target and target.evicted)
+
+    @property
+    def evicted(self) -> List[Name]:
+        return sorted(
+            (n for n, t in self._targets.items() if t.evicted), key=_name_key
+        )

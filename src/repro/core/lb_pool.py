@@ -68,13 +68,20 @@ class LBPool(LoadBalancer):
         # *state* (members, lost entries, occupancy, sync totals) is
         # scraped by the obs collector at snapshot boundaries.
         self.obs = coalesce(registry)
-        if isinstance(sync, SyncChannel):
-            self.channel: Optional[SyncChannel] = sync
-        elif sync:
-            self.channel = SyncChannel()  # perfect: lossless, instantaneous
-        else:
+        if sync is True:
+            self.channel: Optional[SyncChannel] = SyncChannel()  # perfect
+        elif sync is False or sync is None:
             self.channel = None
+        else:
+            # Any channel object: SyncChannel, GossipSync, or compatible.
+            self.channel = sync
+        # Origin-based channels (gossip) want to know *which member*
+        # inserted an entry rather than a target list to push to.
+        self._origin_based = bool(getattr(self.channel, "origin_based", False))
         self.members: List[LoadBalancer] = [factory() for _ in range(size)]
+        if self._origin_based:
+            for member in self.members:
+                self.channel.register_member(member)
         #: CT entries lost with crashed/removed members.
         self.lost_entries = 0
         #: Abrupt member failures observed (vs. graceful scale-in).
@@ -107,7 +114,12 @@ class LBPool(LoadBalancer):
         inserts_before = ct.stats.inserts
         destination = member.get_destination(key_hash)
         if ct.stats.inserts > inserts_before:
-            self.channel.replicate(key_hash, destination, self._sync_targets(member))
+            if self._origin_based:
+                self.channel.offer(member, key_hash, destination)
+            else:
+                self.channel.replicate(
+                    key_hash, destination, self._sync_targets(member)
+                )
         return destination
 
     def _sync_targets(self, origin: LoadBalancer) -> List[LoadBalancer]:
@@ -123,7 +135,12 @@ class LBPool(LoadBalancer):
         sync, flows landing on the new LB lose their CT protection."""
         member = self._factory()
         self._replay_log(member, 0)
-        if self.channel is not None and self.members:
+        if self._origin_based:
+            # Gossip: registration alone suffices -- the new member's
+            # watermarks start at zero, so anti-entropy streams it the
+            # full pool state over the next rounds.
+            self.channel.register_member(member)
+        elif self.channel is not None and self.members:
             donor = self.members[0]
             donor_ct = getattr(donor, "ct", None)
             member_ct = getattr(member, "ct", None)
@@ -179,19 +196,58 @@ class LBPool(LoadBalancer):
         if member not in self._partitioned:
             self._partitioned.append(member)
             if self.channel is not None:
-                self.channel.forget_target(member)
+                if self._origin_based:
+                    # Gossip keeps the member's watermarks: the missed
+                    # suffix flows back automatically after the heal.
+                    self.channel.partition_member(member)
+                else:
+                    self.channel.forget_target(member)
             self._note_event("partition")
         return member
 
     def heal_lb(self, index: int) -> int:
         """Heal a partitioned member: replay the backend events it missed
-        so it converges on the pool's (W, H).  Returns the replay length."""
+        so it converges on the pool's (W, H), then repair its CT.
+
+        A rejoiner must never silently resume with a stale CT: gossip
+        channels resume anti-entropy from the member's watermarks, and
+        point-to-point channels get an explicit donor-diff repair
+        (counted in ``channel.stats.anti_entropy``).  Returns the backend
+        event replay length."""
         member = self.members[self._validate_index(index)]
         if member not in self._partitioned:
             return 0
         self._partitioned.remove(member)
         self._note_event("heal")
-        return self._replay_log(member, getattr(member, _LOG_ATTR, 0))
+        replayed = self._replay_log(member, getattr(member, _LOG_ATTR, 0))
+        if self.channel is not None:
+            if self._origin_based:
+                self.channel.heal_member(member)
+            else:
+                self._anti_entropy(member)
+        return replayed
+
+    def _anti_entropy(self, member: LoadBalancer) -> int:
+        """Re-offer a rejoined member every CT entry it is missing,
+        diffed against a live donor.  Returns the entries repaired."""
+        member_ct = getattr(member, "ct", None)
+        if member_ct is None:
+            return 0
+        donor_ct = None
+        for donor in self.members:
+            if donor is member or donor in self._partitioned:
+                continue
+            donor_ct = getattr(donor, "ct", None)
+            if donor_ct is not None:
+                break
+        if donor_ct is None:
+            return 0
+        repaired = 0
+        for key, destination in donor_ct.items():
+            if member_ct.peek(key) != destination:
+                self.channel.repair(key, destination, member)
+                repaired += 1
+        return repaired
 
     def _replay_log(self, member: LoadBalancer, start: int) -> int:
         for method, name in self._event_log[start:]:

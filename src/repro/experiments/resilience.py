@@ -77,6 +77,13 @@ def _result_row(mode: str, fault_rate: float, result) -> Dict:
         "unannounced_additions": result.unannounced_additions,
         "probation_readmissions": result.probation_readmissions,
         "surprise_additions": result.surprise_additions,
+        # Horizon-fidelity attribution: under chaos, crashed servers
+        # overflow the bounded horizon and lose their announcement, so
+        # their recoveries land as surprises -- recall < 1 quantifies
+        # exactly how much of the exposure was late-announced rather
+        # than contract-honouring churn.
+        "horizon_precision": result.horizon_precision,
+        "horizon_recall": result.horizon_recall,
         "peak_tracked": result.peak_tracked,
         "ct_peak_size": result.ct_peak_size,
     }
@@ -122,6 +129,9 @@ def run_contract_check(scale: Optional[str] = None, seed: int = 0) -> Dict:
         adjusted = raw * (1.0 - h_fraction)  # tracked share is CT-protected
         outcome["modes"][mode] = {
             "unannounced_additions": result.unannounced_additions,
+            # Every chaos add bypasses the horizon, so recall directly
+            # attributes the contract violation: proper/(proper+surprise).
+            "horizon_recall": result.horizon_recall,
             "pcc_violations": result.pcc_violations,
             "violations_under_fault": result.violations_under_fault,
             "predicted_breakage_raw": raw,

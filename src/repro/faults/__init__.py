@@ -14,12 +14,16 @@ from repro.faults.channel import SyncChannel, SyncStats
 from repro.faults.events import (
     CRASH,
     FLAP,
+    GOSSIP_PARTITION,
     GROUP,
     KINDS,
+    PROBE_LOSS,
+    STALE_AUTOSCALER,
     UNANNOUNCED_ADD,
     FaultEvent,
     FaultSchedule,
     chaos_mix,
+    control_chaos_mix,
 )
 from repro.faults.health import HealthMonitor
 from repro.faults.injector import ChaosInjector
@@ -29,10 +33,14 @@ __all__ = [
     "FLAP",
     "GROUP",
     "UNANNOUNCED_ADD",
+    "PROBE_LOSS",
+    "GOSSIP_PARTITION",
+    "STALE_AUTOSCALER",
     "KINDS",
     "FaultEvent",
     "FaultSchedule",
     "chaos_mix",
+    "control_chaos_mix",
     "HealthMonitor",
     "ChaosInjector",
     "SyncChannel",

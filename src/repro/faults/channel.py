@@ -11,10 +11,15 @@ both, deterministically:
 - **lag** -- a successful attempt applies at the peer only after
   ``lag_lookups`` further pool lookups (replication lag measured in
   lookups, the natural clock of a trace replay);
-- **bounded retry with backoff** -- a lost attempt is re-queued after
-  ``backoff_lookups`` lookups, doubling per attempt, up to
+- **bounded retry with backoff + jitter** -- a lost attempt is re-queued
+  after ``backoff_lookups`` lookups, doubling per attempt, up to
   ``max_retries``; an entry that exhausts its retries is counted in
   ``stats.unreplicated`` and the channel reports itself **degraded**.
+  Each re-queue adds a jitter term drawn from the channel's seeded RNG
+  (uniform in ``[0, backoff)``): with deterministic delays, every entry
+  lost in the same partition retries at the same lookup tick, so a healed
+  partition is greeted by a synchronized retry storm across all targets;
+  jitter decorrelates the storm while keeping runs bit-reproducible.
 
 ``SyncChannel()`` with default arguments is a perfect channel -- lossless
 and instantaneous -- which reproduces the seed ``sync=True`` behaviour
@@ -43,10 +48,19 @@ class SyncStats:
     retries: int = 0          # re-queued attempts
     unreplicated: int = 0     # entries abandoned after max_retries
     dropped_targets: int = 0  # pending entries voided by peer crash/partition
+    anti_entropy: int = 0     # entries re-offered to repair a stale rejoiner
 
     @property
     def delivery_rate(self) -> float:
         return self.delivered / self.offered if self.offered else 1.0
+
+    @property
+    def lost(self) -> int:
+        """Entries that will never reach a peer: abandoned after retries
+        plus pending deliveries voided when their target crashed or
+        partitioned.  This is the accounted un-replicated state a PCC
+        post-mortem may charge to the sync layer."""
+        return self.unreplicated + self.dropped_targets
 
 
 class SyncChannel:
@@ -113,10 +127,24 @@ class SyncChannel:
                 return
             self.stats.retries += 1
             backoff = self.backoff_lookups * (1 << (attempt - 1))
+            # Jitter from the channel RNG: deterministic backoff would
+            # synchronize retries across every target after a partition
+            # heals (a retry storm); the seeded draw keeps reproducibility.
+            backoff += self._rng.randrange(backoff)
             self._enqueue(now + backoff, attempt + 1, key, destination, target)
             return
         target.ct.put(key, destination)
         self.stats.delivered += 1
+
+    def repair(self, key: int, destination, target) -> None:
+        """Anti-entropy re-offer: push one entry to a rejoined peer.
+
+        Same delivery semantics as :meth:`replicate`, but counted in
+        ``stats.anti_entropy`` so experiments can separate the repair
+        bill from steady-state replication.
+        """
+        self.stats.anti_entropy += 1
+        self.replicate(key, destination, (target,))
 
     def drain(self) -> None:
         """Force every pending delivery through now (end-of-run settle).

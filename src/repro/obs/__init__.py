@@ -17,7 +17,11 @@ by the throughput experiment's obs-overhead gate).
 """
 
 from repro.obs import collectors as metrics
-from repro.obs.collectors import instrument_balancer, observed_tracked_fraction
+from repro.obs.collectors import (
+    instrument_balancer,
+    instrument_controller,
+    observed_tracked_fraction,
+)
 from repro.obs.export import (
     JsonlExporter,
     last_snapshot,
@@ -28,6 +32,8 @@ from repro.obs.export import (
 )
 from repro.obs.invariants import (
     DEFAULT_TOLERANCE,
+    GossipConvergenceMonitor,
+    HorizonFidelityMonitor,
     InvariantMonitor,
     MonitorResult,
     MonitorSuite,
@@ -51,6 +57,7 @@ from repro.obs.timers import Stopwatch, best_of
 __all__ = [
     "metrics",
     "instrument_balancer",
+    "instrument_controller",
     "observed_tracked_fraction",
     "JsonlExporter",
     "last_snapshot",
@@ -62,6 +69,8 @@ __all__ = [
     "InvariantMonitor",
     "MonitorResult",
     "MonitorSuite",
+    "GossipConvergenceMonitor",
+    "HorizonFidelityMonitor",
     "OccupancyBoundMonitor",
     "PCCAccountingMonitor",
     "TrackedFractionMonitor",

@@ -34,6 +34,10 @@ CH_LOOKUPS = "repro_ch_lookups_total"
 FLOWS = "repro_flows_total"
 TRACKED_FLOWS = "repro_tracked_flows_total"
 EXPECTED_TRACKED_FRACTION = "repro_expected_tracked_fraction"
+#: Flow-weighted mean of |H|/(|W|+|H|) over first dispatches; published
+#: by the engine when H/W vary mid-run (closed-loop runs).  Monitors
+#: prefer this over the instantaneous gauge when both exist.
+EXPECTED_TRACKED_FRACTION_MEAN = "repro_expected_tracked_fraction_mean"
 OBSERVED_TRACKED_FRACTION = "repro_observed_tracked_fraction"
 PCC_VIOLATIONS = "repro_pcc_violations_total"
 INEVITABLY_BROKEN = "repro_inevitably_broken_total"
@@ -52,6 +56,26 @@ SYNC_OFFERED = "repro_sync_offered_total"
 SYNC_DELIVERED = "repro_sync_delivered_total"
 SYNC_LOST_ATTEMPTS = "repro_sync_lost_attempts_total"
 SYNC_UNREPLICATED = "repro_sync_unreplicated_total"
+SYNC_LOST = "repro_sync_lost_total"
+SYNC_ANTI_ENTROPY = "repro_sync_anti_entropy_total"
+# Gossip CT replication (repro.control.gossip).
+GOSSIP_ROUNDS = "repro_gossip_rounds_total"
+GOSSIP_PUSHES = "repro_gossip_pushes_total"
+GOSSIP_LOST_PUSHES = "repro_gossip_lost_pushes_total"
+GOSSIP_TOMBSTONES = "repro_gossip_tombstones_total"
+GOSSIP_STALENESS = "repro_gossip_staleness"
+GOSSIP_MEAN_LAG_ROUNDS = "repro_gossip_mean_lag_rounds"
+# Closed-loop control plane (repro.control).
+PROBES = "repro_probes_total"
+PROBE_EVICTIONS = "repro_probe_evictions_total"
+PROBE_FALSE_EVICTIONS = "repro_probe_false_evictions_total"
+PROBE_READMISSIONS = "repro_probe_readmissions_total"
+SCALE_EVENTS = "repro_scale_events_total"
+BLACKHOLED_FLOWS = "repro_blackholed_flows_total"
+PHANTOM_ANNOUNCEMENTS = "repro_phantom_announcements_total"
+HORIZON_OCCUPANCY = "repro_horizon_occupancy"
+HORIZON_PRECISION = "repro_horizon_precision"
+HORIZON_RECALL = "repro_horizon_recall"
 
 
 def ch_family(ch) -> str:
@@ -146,6 +170,62 @@ def _instrument_pool(registry, pool) -> None:
             reg.counter(
                 SYNC_UNREPLICATED, "Sync entries abandoned after retries"
             ).set_total(stats.unreplicated)
+            reg.counter(
+                SYNC_LOST, "Sync entries that will never reach a peer"
+            ).set_total(stats.lost)
+            reg.counter(
+                SYNC_ANTI_ENTROPY, "Entries re-offered to repair stale rejoiners"
+            ).set_total(stats.anti_entropy)
+            rounds = getattr(stats, "rounds", None)
+            if rounds is not None:  # gossip channel: convergence series
+                reg.counter(GOSSIP_ROUNDS, "Gossip rounds run").set_total(rounds)
+                reg.counter(GOSSIP_PUSHES, "Gossip exchanges attempted").set_total(
+                    stats.pushes
+                )
+                reg.counter(
+                    GOSSIP_LOST_PUSHES, "Gossip exchanges the network dropped"
+                ).set_total(stats.lost_pushes)
+                reg.counter(
+                    GOSSIP_TOMBSTONES, "Deletion deltas applied at peers"
+                ).set_total(stats.tombstones)
+                reg.gauge(
+                    GOSSIP_STALENESS,
+                    "Undelivered (member, delta) pairs right now",
+                ).set(channel.staleness())
+                reg.gauge(
+                    GOSSIP_MEAN_LAG_ROUNDS,
+                    "Mean dissemination lag in rounds (delta birth -> apply)",
+                ).set(stats.mean_lag_rounds)
+
+    registry.add_collector(collect)
+
+
+def instrument_controller(registry, controller) -> None:
+    """Register collectors for a :class:`~repro.control.loop.ControlLoop`
+    (prober counters, scale events, horizon fidelity)."""
+    if not registry.enabled:
+        return
+    prober = controller.prober
+    autoscaler = controller.autoscaler
+
+    def collect(reg) -> None:
+        stats = prober.stats
+        reg.counter(PROBES, "Health probes sent").set_total(stats.sent)
+        reg.counter(PROBE_EVICTIONS, "Probe-evidence evictions").set_total(
+            stats.evictions
+        )
+        reg.counter(
+            PROBE_FALSE_EVICTIONS, "Evictions of servers that were up"
+        ).set_total(stats.false_evictions)
+        reg.counter(PROBE_READMISSIONS, "Probe-confirmed readmissions").set_total(
+            stats.readmissions
+        )
+        reg.counter(
+            SCALE_EVENTS, "Autoscaler decisions by kind", kind="out"
+        ).set_total(autoscaler.scale_outs)
+        reg.counter(
+            SCALE_EVENTS, "Autoscaler decisions by kind", kind="in"
+        ).set_total(autoscaler.scale_ins)
 
     registry.add_collector(collect)
 

@@ -7,7 +7,7 @@ artifact, or a synthetic registry in tests.  A monitor returns a
 (required series absent -- e.g. the tracked-fraction check on a
 stateless balancer that publishes no expectation gauge).
 
-The three default monitors and the claims they guard:
+The default monitors and the claims they guard:
 
 - :class:`TrackedFractionMonitor` -- Theorems 4.2/4.3: the observed
   fraction of connections JET tracks must lie within a configurable
@@ -18,6 +18,12 @@ The three default monitors and the claims they guard:
   connections active when it fired).
 - :class:`OccupancyBoundMonitor` -- the CT never exceeds its capacity
   bound, and its high-water mark never exceeds total inserts.
+- :class:`HorizonFidelityMonitor` -- horizon precision/recall (closed-loop
+  runs) are within [0, 1], and above configurable floors when the run is
+  supposed to have a perfect forecast.
+- :class:`GossipConvergenceMonitor` -- the sync-staleness bound: gossip
+  CT replication must have converged (staleness zero) by the final
+  snapshot; losses must be accounted, not silent.
 """
 
 from __future__ import annotations
@@ -85,7 +91,12 @@ class TrackedFractionMonitor(InvariantMonitor):
         self.min_flows = min_flows
 
     def evaluate(self, registry) -> MonitorResult:
-        expected = registry.value(M.EXPECTED_TRACKED_FRACTION)
+        # Prefer the flow-weighted mean expectation: when H and W vary
+        # mid-run (closed-loop autoscaling), the instantaneous gauge
+        # reflects only the final sample, not what flows actually saw.
+        expected = registry.value(M.EXPECTED_TRACKED_FRACTION_MEAN)
+        if expected is None:
+            expected = registry.value(M.EXPECTED_TRACKED_FRACTION)
         if expected is None or expected <= 0:
             return _skip(self.name, "no expectation published (not a JET run)")
         flows = registry.value(M.FLOWS) or 0
@@ -157,6 +168,87 @@ class OccupancyBoundMonitor(InvariantMonitor):
         )
 
 
+class HorizonFidelityMonitor(InvariantMonitor):
+    """Horizon precision/recall are sane (and above optional floors).
+
+    Without floors this is a consistency check: both scores must lie in
+    [0, 1].  Experiments and CI gates pass ``min_precision`` /
+    ``min_recall`` for runs where forecast quality is *supposed* to be
+    perfect (e.g. the perfect-forecast control smoke run)."""
+
+    name = "horizon_fidelity"
+
+    def __init__(
+        self,
+        min_precision: Optional[float] = None,
+        min_recall: Optional[float] = None,
+    ):
+        self.min_precision = min_precision
+        self.min_recall = min_recall
+
+    def evaluate(self, registry) -> MonitorResult:
+        precision = registry.value(M.HORIZON_PRECISION)
+        recall = registry.value(M.HORIZON_RECALL)
+        if precision is None and recall is None:
+            return _skip(self.name, "no horizon fidelity series (exogenous H)")
+        problems = []
+        for label, value, floor in (
+            ("precision", precision, self.min_precision),
+            ("recall", recall, self.min_recall),
+        ):
+            if value is None:
+                continue
+            if not 0.0 <= value <= 1.0:
+                problems.append(f"{label} {value:.3f} outside [0, 1]")
+            elif floor is not None and value < floor:
+                problems.append(f"{label} {value:.3f} below floor {floor}")
+        shown = precision if precision is not None else recall
+        return MonitorResult(
+            name=self.name,
+            ok=not problems,
+            observed=shown,
+            detail=(
+                "; ".join(problems)
+                if problems
+                else (
+                    f"precision={precision if precision is not None else 'n/a'} "
+                    f"recall={recall if recall is not None else 'n/a'}"
+                )
+            ),
+        )
+
+
+class GossipConvergenceMonitor(InvariantMonitor):
+    """Gossip CT sync converged: staleness is zero at the final snapshot.
+
+    The sync-staleness bound: after the run settles (drain / quiet
+    rounds), no live member may still be missing deltas -- anything truly
+    lost must be accounted in ``repro_sync_lost_total`` instead."""
+
+    name = "gossip_convergence"
+
+    def __init__(self, max_staleness: float = 0.0):
+        self.max_staleness = max_staleness
+
+    def evaluate(self, registry) -> MonitorResult:
+        staleness = registry.value(M.GOSSIP_STALENESS)
+        if staleness is None:
+            return _skip(self.name, "no gossip series (point-to-point or no sync)")
+        lost = registry.value(M.SYNC_LOST) or 0
+        lag = registry.value(M.GOSSIP_MEAN_LAG_ROUNDS)
+        return MonitorResult(
+            name=self.name,
+            ok=staleness <= self.max_staleness,
+            observed=staleness,
+            expected=self.max_staleness,
+            detail=(
+                f"staleness {staleness:.0f} (bound {self.max_staleness:.0f}), "
+                f"accounted lost {lost:.0f}"
+                + (f", mean lag {lag:.2f} rounds" if lag is not None else "")
+            ),
+        )
+
+
 class MonitorSuite:
     """A bundle of monitors evaluated together after (or during) a run."""
 
@@ -190,6 +282,8 @@ def default_monitors(tolerance: float = DEFAULT_TOLERANCE) -> List[InvariantMoni
         TrackedFractionMonitor(tolerance=tolerance),
         PCCAccountingMonitor(),
         OccupancyBoundMonitor(),
+        HorizonFidelityMonitor(),
+        GossipConvergenceMonitor(),
     ]
 
 

@@ -41,6 +41,11 @@ class HorizonManager:
         self._down: Set[Name] = set()
         self.surprise_additions = 0
         self.proper_additions = 0
+        #: Horizon slots revoked while their server was still down: the
+        #: announcement is withdrawn, so the eventual recovery will land
+        #: as a surprise.  Resilience reports use this to attribute
+        #: unannounced exposure instead of counting it silently.
+        self.revoked_announcements = 0
         for name in standby_names:
             self._fifo.append(name)
             self._members.add(name)
@@ -55,6 +60,10 @@ class HorizonManager:
     def down_servers(self) -> frozenset:
         return frozenset(self._down)
 
+    @property
+    def horizon_occupancy(self) -> int:
+        return len(self._members)
+
     # ------------------------------------------------------------ churn
     def _evict_oldest(self) -> None:
         victim = self._fifo.popleft()
@@ -64,7 +73,7 @@ class HorizonManager:
         if victim in self._down:
             # A still-down server lost its horizon slot; its eventual
             # recovery will be unanticipated.
-            pass
+            self.revoked_announcements += 1
         else:
             self._spares.append(victim)
 

@@ -49,6 +49,11 @@ _REMOVAL = 3
 _RECOVERY = 4
 _SAMPLE = 5
 _FAULT = 6
+# Closed-loop kinds (repro.control runs only).
+_CONTROL = 7      # periodic control-plane tick (probe + autoscale)
+_RESPONSIVE = 8   # a silently-dead server starts answering probes again
+_JOIN = 9         # an autoscaler launch finishes its lead time
+_EXPIRE = 10      # a phantom horizon announcement times out
 
 
 class EventDrivenSimulation:
@@ -69,9 +74,12 @@ class EventDrivenSimulation:
         injector=None,
         coalesce_packets: bool = False,
         registry=None,
+        controller=None,
+        horizon_cap: int = 16,
     ):
         self.lb = balancer
         self.injector = injector
+        self.controller = controller
         self.coalesce_packets = coalesce_packets
         # Observability: a NullRegistry by default.  Per-packet handlers
         # stay uninstrumented; obs work happens only at sample events and
@@ -98,7 +106,13 @@ class EventDrivenSimulation:
         # Balance metrics ignore the ramp-up transient (few flows over many
         # servers trivially yields huge oversubscription ratios).
         self.warmup_s = 0.2 * duration_s if warmup_s is None else warmup_s
-        self.manager = HorizonManager([balancer], standby_servers)
+        if controller is not None:
+            # Closed loop: H is the control plane's pending changes, not
+            # an exogenous standby FIFO.  Membership leaves W on probe
+            # evidence; crashes become *silent* until detected.
+            self.manager = controller.membership([balancer], horizon_cap)
+        else:
+            self.manager = HorizonManager([balancer], standby_servers)
         self.downtime_dist = downtime_dist
         self._removal_rate = update_rate_per_min / 60.0
         self._rng = random.Random(splitmix64(seed ^ 0xBEEF_CAFE))
@@ -120,6 +134,22 @@ class EventDrivenSimulation:
         self._fault_window = injector.fault_window_s if injector is not None else 0.0
         self._probated: Set[Name] = set()
 
+        # Closed-loop state: silently-dead servers (still in W until the
+        # prober evicts them), a generation counter guarding stale
+        # _RESPONSIVE events across re-silencing, and the LIFO stack of
+        # autoscaled servers (scale-in retires the newest first).
+        self._silenced: Set[Name] = set()
+        self._silence_gen: Dict[Name, int] = {}
+        self._auto_servers: List[Name] = []
+        # Flow-weighted Theorem 4.2 expectation: with a dynamic H the
+        # final-instant |H|/(|W|+|H|) misrepresents the run, so accumulate
+        # it per first dispatch.  Only JET-style balancers publish it.
+        from repro.core.jet import JETLoadBalancer
+
+        self._track_expected = isinstance(balancer, JETLoadBalancer)
+        self._expected_sum = 0.0
+        self._expected_count = 0
+
         # TTL-based CT tables carry a simulated clock we must advance.
         from repro.ct.ttl import Clock as _SimClock
 
@@ -135,7 +165,15 @@ class EventDrivenSimulation:
     def _pick_up_server(self) -> Optional[Name]:
         if len(self._up) <= 1:
             return None  # never remove the last working server
-        return self._up[self._rng.randrange(len(self._up))]
+        if not self._silenced:
+            return self._up[self._rng.randrange(len(self._up))]
+        # Closed loop: a silently-dead server is still in W; crashing it
+        # again is meaningless, and at least one responsive server must
+        # survive (the no-last-server rule, under evidence-based W).
+        candidates = [s for s in self._up if s not in self._silenced]
+        if len(candidates) <= 1:
+            return None
+        return candidates[self._rng.randrange(len(candidates))]
 
     def _mark_down(self, name: Name) -> None:
         position = self._up_index.pop(name)
@@ -166,6 +204,11 @@ class EventDrivenSimulation:
     def crash_server(self, name: Name, now: float, downtime: Optional[float] = None) -> float:
         """Take ``name`` down immediately; returns the scheduled recovery
         time (downtime, or the given override, plus any probation delay)."""
+        if self.controller is not None:
+            # Evidence-based membership: the crash is *silent*.  The
+            # server stops answering but stays in W until the prober's
+            # consecutive-failure threshold evicts it.
+            return self.silence_server(name, now, downtime)
         self._mark_down(name)
         self.result.removals += 1
         # Churn exposure: this event can break at most the flows active
@@ -207,6 +250,124 @@ class EventDrivenSimulation:
         self.result.unannounced_additions += 1
         self.result.additions += 1
 
+    # ---------------------------------------------- control-loop interface
+    @property
+    def active_flows(self) -> int:
+        return self._load.active_flows
+
+    @property
+    def responsive_count(self) -> int:
+        """Working servers that would answer a probe right now."""
+        if not self._silenced:
+            return len(self._up)
+        return sum(1 for s in self._up if s not in self._silenced)
+
+    def server_responsive(self, name: Name) -> bool:
+        """The prober's ground-truth oracle: does a probe get answered?"""
+        return name not in self._silenced
+
+    def silence_server(self, name: Name, now: float, downtime: Optional[float] = None) -> float:
+        """A server dies *silently*: it stays in W (the control plane has
+        no evidence yet) but stops answering probes and blackholes flows.
+        Returns the time it becomes responsive again."""
+        generation = self._silence_gen.get(name, 0) + 1
+        self._silence_gen[name] = generation
+        already_silent = name in self._silenced
+        self._silenced.add(name)
+        if not already_silent:
+            # Its active connections break now, whatever the control
+            # plane believes; count the exposure at the same instant.
+            self.result.churn_exposed_flows += self._load.active_flows
+            doomed = self._flows_by_server.pop(name, set())
+            for flow in doomed:
+                flow.broken = True
+                flow.inevitable = True
+                self._load.flow_ended(name)
+            self.result.inevitably_broken += len(doomed)
+        if downtime is None:
+            downtime = self.downtime_dist.sample(self._rng)
+        responsive_at = now + downtime
+        self._push(responsive_at, _RESPONSIVE, (name, generation))
+        return responsive_at
+
+    def _on_responsive(self, name: Name, generation: int) -> None:
+        if self._silence_gen.get(name) != generation:
+            return  # stale: the server was re-silenced meanwhile
+        self._silenced.discard(name)
+        if name in self._up_index and not self.controller.prober.is_evicted(name):
+            # The outage ended before the prober accumulated enough
+            # failures: membership never changed (graceful degradation
+            # under lossy evidence, at the cost of the blackhole window).
+            self.result.undetected_blips += 1
+
+    def evict_server(self, name: Name, now: float) -> None:
+        """Prober verdict: remove ``name`` from W (it enters H awaiting
+        readmission).  Safe against races with recovery/retirement."""
+        if name not in self._up_index:
+            return
+        self._mark_down(name)
+        self.result.removals += 1
+        self.result.churn_exposed_flows += self._load.active_flows
+        # A false eviction (server actually up) re-steers its flows away;
+        # they are inevitably broken exactly like a real removal's.
+        doomed = self._flows_by_server.pop(name, set())
+        for flow in doomed:
+            flow.broken = True
+            flow.inevitable = True
+            self._load.flow_ended(name)
+        self.result.inevitably_broken += len(doomed)
+        self.manager.remove_server(name)
+
+    def readmit_server(self, name: Name, now: float) -> None:
+        """Prober verdict: recovery confirmed and probation served."""
+        if name in self._up_index:
+            return
+        self._mark_up(name)
+        self.result.additions += 1
+        self.result.churn_exposed_flows += self._load.active_flows
+        self.manager.recover_server(name)
+
+    def schedule_join(self, name: Name, when: float) -> None:
+        self._push(when, _JOIN, name)
+
+    def schedule_phantom_expiry(self, name: Name, when: float) -> None:
+        self._push(when, _EXPIRE, name)
+
+    def _on_join(self, name: Name) -> None:
+        """An autoscaler launch finishes warming up and joins W."""
+        self._mark_up(name)
+        self.result.additions += 1
+        self.result.scale_outs += 1
+        self.result.churn_exposed_flows += self._load.active_flows
+        self.manager.realize(name)
+        self._auto_servers.append(name)
+        self.controller.prober.watch(name)
+
+    def retire_autoscaled(self, count: int, now: float) -> int:
+        """Scale-in: retire up to ``count`` autoscaled servers, newest
+        first.  Returns how many actually left."""
+        retired = 0
+        while self._auto_servers and retired < count:
+            name = self._auto_servers.pop()
+            if name not in self._up_index or len(self._up) <= 1:
+                continue
+            if name in self._silenced:
+                continue  # dead; the prober's eviction path owns it
+            self._mark_down(name)
+            self.result.removals += 1
+            self.result.scale_ins += 1
+            self.result.churn_exposed_flows += self._load.active_flows
+            doomed = self._flows_by_server.pop(name, set())
+            for flow in doomed:
+                flow.broken = True
+                flow.inevitable = True
+                self._load.flow_ended(name)
+            self.result.inevitably_broken += len(doomed)
+            self.manager.retire(name)
+            self.controller.prober.forget(name)
+            retired += 1
+        return retired
+
     # ------------------------------------------------------------- run
     def run(self) -> SimResult:
         watch = Stopwatch()
@@ -216,6 +377,9 @@ class EventDrivenSimulation:
         self._push(self.sample_interval, _SAMPLE)
         if self.injector is not None:
             self.injector.prime(self)
+        if self.controller is not None:
+            self.controller.attach(self, list(self._up))
+            self._push(self.controller.interval_s, _CONTROL)
 
         heap = self._heap
         sim_clock = self._sim_clock
@@ -245,6 +409,14 @@ class EventDrivenSimulation:
                 self._on_recovery(payload)
             elif kind == _FAULT:
                 self.injector.apply(self, payload, when)
+            elif kind == _CONTROL:
+                self._on_control(when)
+            elif kind == _RESPONSIVE:
+                self._on_responsive(*payload)
+            elif kind == _JOIN:
+                self._on_join(payload)
+            elif kind == _EXPIRE:
+                self.manager.expire(payload)
             else:
                 self._on_sample(when)
 
@@ -319,20 +491,35 @@ class EventDrivenSimulation:
     def _dispatch_first_packet(self, flow: Flow) -> None:
         # First packet (TCP SYN): load-aware LBs may run their
         # new-connection placement here (Section 6.3).
-        if self._obs_on:
-            # Per-connection tracked-fraction telemetry: a CT insert
-            # during the first dispatch means this flow was classified
-            # unsafe.  Gated so disabled runs skip even the delta read.
-            stats = self._ct_stats
-            inserts_before = stats.inserts if stats is not None else 0
-            self._first_dispatches += 1
+        # Per-connection tracked-fraction telemetry: a CT insert during
+        # the first dispatch means this flow was classified unsafe.
+        # Unconditional -- SimResult must not depend on whether a
+        # registry is attached (the obs-differential invariant).
+        stats = self._ct_stats
+        inserts_before = stats.inserts if stats is not None else 0
+        self._first_dispatches += 1
         if self._syn_aware:
             destination = self.lb.get_destination(flow.key, True)
         else:
             destination = self.lb.get_destination(flow.key)
-        if self._obs_on and stats is not None and stats.inserts > inserts_before:
+        if stats is not None and stats.inserts > inserts_before:
             self._first_tracked += 1
+        if self._track_expected:
+            horizon = self.manager.horizon_occupancy
+            working = len(self._up)
+            if working:
+                self._expected_sum += horizon / (working + horizon)
+                self._expected_count += 1
         flow.true_destination = destination
+        if destination in self._silenced:
+            # Dispatched into the detection-lag blackhole: the server is
+            # silently dead but still in W, so the flow dies on arrival.
+            flow.broken = True
+            flow.inevitable = True
+            self.result.blackholed_flows += 1
+            self.result.inevitably_broken += 1
+            self.result.churn_exposed_flows += 1
+            return
         self._load.flow_started(destination)
         if self._note_flow_start is not None:
             self._note_flow_start(destination)
@@ -384,6 +571,12 @@ class EventDrivenSimulation:
             self.result.probation_readmissions += 1
         if self.injector is not None and self.injector.health is not None:
             self.injector.health.note_recovered(server, self._now)
+
+    def _on_control(self, now: float) -> None:
+        self.result.control_ticks += 1
+        self.controller.tick(self, now)
+        if now + self.controller.interval_s <= self.duration_s:
+            self._push(now + self.controller.interval_s, _CONTROL)
 
     def _on_sample(self, now: float) -> None:
         oversub = self._load.oversubscription(len(self._up))
@@ -446,6 +639,23 @@ class EventDrivenSimulation:
         obs.counter(
             obs_metrics.DISPATCH_PACKETS, "Packets by dispatch path", path="scalar"
         ).set_total(result.packets_processed - self._batched_packets)
+        if self._track_expected and self._expected_count:
+            obs.gauge(
+                obs_metrics.EXPECTED_TRACKED_FRACTION_MEAN,
+                "Flow-weighted mean expected tracked fraction",
+            ).set(self._expected_sum / self._expected_count)
+        if self.controller is not None:
+            obs.counter(
+                obs_metrics.BLACKHOLED_FLOWS,
+                "Flows dispatched at silently-dead servers",
+            ).set_total(result.blackholed_flows)
+            obs.counter(
+                obs_metrics.PHANTOM_ANNOUNCEMENTS,
+                "Horizon announcements that expired unrealized",
+            ).set_total(result.phantom_announcements)
+            obs.gauge(
+                obs_metrics.HORIZON_OCCUPANCY, "Servers currently announced in H"
+            ).set(self.manager.horizon_occupancy)
 
     def _finalize(self) -> None:
         result = self.result
@@ -463,5 +673,57 @@ class EventDrivenSimulation:
         if channel is not None:
             result.sync_failures = channel.stats.lost_attempts
             result.unreplicated_entries = channel.stats.unreplicated
+            staleness = getattr(channel, "staleness", None)
+            if callable(staleness):
+                result.sync_staleness = staleness()
+        if self._expected_count:
+            result.mean_expected_tracked_fraction = (
+                self._expected_sum / self._expected_count
+            )
+        if self._first_dispatches:
+            result.observed_tracked_fraction = (
+                self._first_tracked / self._first_dispatches
+            )
+        self._finalize_horizon_fidelity()
+        if self.controller is not None:
+            prober_stats = self.controller.prober.stats
+            result.probes_sent = prober_stats.sent
+            result.probe_evictions = prober_stats.evictions
+            result.probe_false_evictions = prober_stats.false_evictions
+            result.probe_readmissions = prober_stats.readmissions
         if self._obs_on:
             self._publish_telemetry()
+            if result.horizon_precision is not None:
+                self.obs.gauge(
+                    obs_metrics.HORIZON_PRECISION,
+                    "Horizon announcement precision vs realized additions",
+                ).set(result.horizon_precision)
+            if result.horizon_recall is not None:
+                self.obs.gauge(
+                    obs_metrics.HORIZON_RECALL,
+                    "Horizon announcement recall vs realized additions",
+                ).set(result.horizon_recall)
+
+    def _finalize_horizon_fidelity(self) -> None:
+        """Horizon precision/recall from whichever manager drove the run.
+
+        Closed-loop runs carry a full scorecard; exogenous-H runs derive
+        the same report from the FIFO's counters (proper vs surprise
+        additions, announcements revoked while the server was down), so
+        late-announced chaos exposure gets attribution either way."""
+        result = self.result
+        scorecard = getattr(self.manager, "scorecard", None)
+        if scorecard is not None:
+            result.horizon_precision = scorecard.precision
+            result.horizon_recall = scorecard.recall
+            result.phantom_announcements = self.manager.phantom_announcements
+            return
+        proper = self.manager.proper_additions
+        surprise = self.manager.surprise_additions
+        revoked = getattr(self.manager, "revoked_announcements", 0)
+        realized = proper + surprise
+        if realized:
+            result.horizon_recall = proper / realized
+        judged = proper + revoked
+        if judged:
+            result.horizon_precision = proper / judged

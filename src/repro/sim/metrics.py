@@ -63,6 +63,32 @@ class SimResult:
     probation_readmissions: int = 0
     sync_failures: int = 0
     unreplicated_entries: int = 0
+    # Closed-loop counters (zero unless a ControlLoop drove the run).
+    #: Flows dispatched at a server that had silently died but was not
+    #: yet evicted by the prober (the detection-lag blackhole window).
+    blackholed_flows: int = 0
+    #: Silent outages that recovered before the prober ever evicted them.
+    undetected_blips: int = 0
+    scale_outs: int = 0
+    scale_ins: int = 0
+    control_ticks: int = 0
+    probes_sent: int = 0
+    probe_evictions: int = 0
+    probe_false_evictions: int = 0
+    probe_readmissions: int = 0
+    phantom_announcements: int = 0
+    #: Horizon announcement fidelity vs realized membership changes
+    #: (None when no additions/announcements were judged).
+    horizon_precision: Optional[float] = None
+    horizon_recall: Optional[float] = None
+    #: Flow-weighted mean of |H|/(|W|+|H|) over first dispatches -- the
+    #: Theorem 4.2 expectation when H and W vary mid-run.
+    mean_expected_tracked_fraction: Optional[float] = None
+    #: Fraction of flows CT-tracked at first dispatch (None only when no
+    #: flow was dispatched; ~1 under full CT, 0 under stateless).
+    observed_tracked_fraction: Optional[float] = None
+    #: Gossip convergence debt left at finalization (0 = converged).
+    sync_staleness: int = 0
 
     def summary(self) -> str:
         text = (
@@ -82,6 +108,25 @@ class SimResult:
                 f"unannounced={self.unannounced_additions}) "
                 f"violations-under-fault={self.violations_under_fault} "
                 f"probation readmissions={self.probation_readmissions}"
+            )
+        if self.control_ticks:
+            precision = (
+                f"{self.horizon_precision:.2f}"
+                if self.horizon_precision is not None
+                else "n/a"
+            )
+            recall = (
+                f"{self.horizon_recall:.2f}"
+                if self.horizon_recall is not None
+                else "n/a"
+            )
+            text += (
+                f" | control ticks={self.control_ticks} "
+                f"scale-out={self.scale_outs} scale-in={self.scale_ins} "
+                f"evictions={self.probe_evictions} "
+                f"(false={self.probe_false_evictions}) "
+                f"blackholed={self.blackholed_flows} "
+                f"horizon P/R={precision}/{recall}"
             )
         return text
 

@@ -31,7 +31,7 @@ from repro.sim.distributions import (
 )
 from repro.sim.engine import EventDrivenSimulation
 from repro.sim.metrics import SimResult
-from repro.sim.workload import WorkloadGenerator
+from repro.sim.workload import RateProfile, WorkloadGenerator
 
 #: Backend size used throughout the paper's event-driven simulations.
 PAPER_N_SERVERS = 468
@@ -70,6 +70,22 @@ class SimulationConfig:
     probation_cap_s: float = 60.0
     # Observability (repro.obs); None keeps the zero-cost NullRegistry path.
     registry: Optional[object] = None  # repro.obs.Registry
+    # Closed-loop control plane (repro.control); False keeps exogenous H.
+    control: bool = False
+    control_interval_s: float = 0.5
+    scale_lead_time_s: float = 5.0
+    #: Active flows per server the autoscaler targets; None derives it
+    #: from the nominal concurrency (connection_rate / n_servers).
+    target_load_per_server: Optional[float] = None
+    forecast_precision: float = 1.0
+    forecast_recall: float = 1.0
+    autoscale_max: int = 8
+    probe_fail_threshold: int = 3
+    probe_recover_threshold: int = 2
+    probe_loss_probability: float = 0.0
+    #: Time-varying arrival rate (flash crowd / diurnal); None keeps the
+    #: homogeneous Poisson workload bit-identical to the seed generator.
+    rate_profile: Optional[object] = None  # RateProfile
 
     def with_(self, **changes) -> "SimulationConfig":
         """A copy with the given fields replaced (sweep helper)."""
@@ -79,7 +95,12 @@ class SimulationConfig:
 def build_balancer(config: SimulationConfig):
     """Construct the LB (CH + CT + wrapper) a config describes."""
     working = list(range(config.n_servers))
-    standby = list(range(config.n_servers, config.n_servers + config.horizon_size))
+    if config.control:
+        # Closed loop: H starts empty -- the control plane announces
+        # pending changes into it; no exogenous standby identities.
+        standby = []
+    else:
+        standby = list(range(config.n_servers, config.n_servers + config.horizon_size))
     ch_kwargs = dict(config.ch_kwargs)
     if config.ch_family == "anchor" and "capacity" not in ch_kwargs:
         # Leave headroom for forced additions and horizon churn; chaos
@@ -89,6 +110,10 @@ def build_balancer(config: SimulationConfig):
             extra = 2 * sum(
                 1 for e in config.fault_schedule if e.kind == "unannounced_add"
             )
+        if config.control:
+            # Autoscaled servers and phantom announcements are brand-new
+            # identities too; reserve room for a full run's worth.
+            extra += 4 * config.autoscale_max + 64
         ch_kwargs["capacity"] = 2 * (config.n_servers + config.horizon_size) + 16 + extra
     ch = make_ch(config.ch_family, working, standby, **ch_kwargs)
     clock = Clock() if config.ct_policy == "ttl" else None
@@ -120,11 +145,15 @@ def run_simulation(config: SimulationConfig) -> SimResult:
         arrival_rate = config.connection_rate / duration_dist.mean()
 
     balancer, working, standby = build_balancer(config)
+    rate_profile = config.rate_profile
+    if rate_profile is not None and not isinstance(rate_profile, RateProfile):
+        raise TypeError("rate_profile must be a repro.sim.workload.RateProfile")
     workload = WorkloadGenerator(
         arrival_rate=arrival_rate,
         size_dist=size_dist,
         duration_dist=duration_dist,
         seed=config.seed,
+        rate_profile=rate_profile,
     )
     injector = None
     if config.fault_schedule is not None and len(config.fault_schedule):
@@ -138,6 +167,7 @@ def run_simulation(config: SimulationConfig) -> SimResult:
             fault_window_s=config.fault_window_s,
             registry=config.registry,
         )
+    controller = build_controller(config, arrival_rate, duration_dist)
     sim = EventDrivenSimulation(
         balancer=balancer,
         workload=workload,
@@ -152,8 +182,53 @@ def run_simulation(config: SimulationConfig) -> SimResult:
         injector=injector,
         coalesce_packets=config.coalesce_packets,
         registry=config.registry,
+        controller=controller,
+        horizon_cap=max(config.horizon_size, 1),
     )
     return sim.run()
+
+
+def build_controller(config: SimulationConfig, arrival_rate: float, duration_dist):
+    """Construct the closed-loop controller a config asks for (or None)."""
+    if not config.control:
+        return None
+    from repro.control import Autoscaler, ControlLoop, HealthProber
+    from repro.faults import HealthMonitor
+
+    target = config.target_load_per_server
+    if target is None:
+        # Steady-state concurrency is arrival_rate * mean duration
+        # (Little's law); spread over the baseline fleet.
+        target = arrival_rate * duration_dist.mean() / config.n_servers
+    autoscaler = Autoscaler(
+        target_load=max(target, 1e-9),
+        lead_time_s=config.scale_lead_time_s,
+        cooldown_s=4 * config.control_interval_s,
+        forecast_precision=config.forecast_precision,
+        forecast_recall=config.forecast_recall,
+        seed=config.seed,
+    )
+    prober = HealthProber(
+        is_up=lambda name: True,  # rebound to the engine oracle at attach
+        fail_threshold=config.probe_fail_threshold,
+        recover_threshold=config.probe_recover_threshold,
+        loss_probability=config.probe_loss_probability,
+        monitor=HealthMonitor(
+            base_s=config.probation_base_s, cap_s=config.probation_cap_s
+        ),
+        seed=config.seed,
+    )
+    controller = ControlLoop(
+        autoscaler,
+        prober,
+        interval_s=config.control_interval_s,
+        max_extra=config.autoscale_max,
+    )
+    if config.registry is not None:
+        from repro.obs.collectors import instrument_controller
+
+        instrument_controller(config.registry, controller)
+    return controller
 
 
 def run_paired(config: SimulationConfig) -> Dict[str, SimResult]:

@@ -10,15 +10,82 @@ the remaining flow duration".
 Connection keys are unique 64-bit integers from a splitmix64 stream (the
 5-tuple hash a real LB would compute; uniqueness avoids accidental flow
 collisions in statistics).
+
+Closed-loop experiments need *time-varying* arrival rates (flash crowds,
+diurnal cycles) so the autoscaler has something to forecast.  A
+:class:`RateProfile` turns the homogeneous Poisson process into a
+non-homogeneous one via Lewis-Shedler thinning, entirely inside the
+generator -- ``next_arrival_gap()`` keeps its zero-argument signature, so
+every existing driver (and subclass) is untouched, and with no profile
+the RNG stream is bit-identical to the seed generator.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.hashing.mix import splitmix64
 from repro.sim.distributions import Distribution
+
+
+class RateProfile:
+    """A time-varying arrival-rate multiplier ``factor(t) in (0, peak]``.
+
+    ``peak`` must upper-bound ``factor`` over the run: thinning draws
+    candidate arrivals at ``base_rate * peak`` and accepts each with
+    probability ``factor(t) / peak``.
+    """
+
+    def __init__(self, factor: Callable[[float], float], peak: float):
+        if peak <= 0:
+            raise ValueError("peak must be positive")
+        self.factor = factor
+        self.peak = peak
+
+    @classmethod
+    def flat(cls) -> "RateProfile":
+        return cls(lambda t: 1.0, 1.0)
+
+    @classmethod
+    def flash_crowd(
+        cls, start: float, ramp_s: float, magnitude: float, hold_s: float = 0.0
+    ) -> "RateProfile":
+        """Baseline load that ramps to ``magnitude``x at ``start`` over
+        ``ramp_s`` seconds, holds, then ramps back down symmetrically."""
+        if magnitude < 1.0:
+            raise ValueError("magnitude must be >= 1")
+        if ramp_s <= 0:
+            raise ValueError("ramp_s must be positive")
+
+        def factor(t: float) -> float:
+            if t < start:
+                return 1.0
+            if t < start + ramp_s:  # ramp up
+                return 1.0 + (magnitude - 1.0) * (t - start) / ramp_s
+            if t < start + ramp_s + hold_s:  # plateau
+                return magnitude
+            down = t - (start + ramp_s + hold_s)
+            if down < ramp_s:  # ramp down
+                return magnitude - (magnitude - 1.0) * down / ramp_s
+            return 1.0
+
+        return cls(factor, magnitude)
+
+    @classmethod
+    def diurnal(cls, period_s: float, amplitude: float = 0.5) -> "RateProfile":
+        """A day/night sinusoid: ``1 + amplitude * sin(2 pi t / period)``."""
+        if not 0.0 < amplitude < 1.0:
+            raise ValueError("amplitude must be in (0, 1)")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        two_pi = 2.0 * math.pi
+
+        def factor(t: float) -> float:
+            return 1.0 + amplitude * math.sin(two_pi * t / period_s)
+
+        return cls(factor, 1.0 + amplitude)
 
 
 class Flow:
@@ -63,19 +130,39 @@ class WorkloadGenerator:
         size_dist: Distribution,
         duration_dist: Distribution,
         seed: int = 0,
+        rate_profile: Optional[RateProfile] = None,
     ):
         if arrival_rate <= 0:
             raise ValueError("arrival_rate must be positive")
         self.arrival_rate = arrival_rate
         self.size_dist = size_dist
         self.duration_dist = duration_dist
+        self.rate_profile = rate_profile
         self._rng = random.Random(splitmix64(seed ^ 0x7157_9A7C))
         self._key_state = splitmix64(seed ^ 0x5DEE_CE66)
         self._next_id = 0
+        # Arrival-clock position for thinning: gaps are relative, so the
+        # generator keeps its own cumulative arrival time (the engine's
+        # usage sums gaps the same way, so the clocks agree).
+        self._arrival_clock = 0.0
 
     def next_arrival_gap(self) -> float:
         """Inter-arrival time to the next connection."""
-        return self._rng.expovariate(self.arrival_rate)
+        if self.rate_profile is None:
+            return self._rng.expovariate(self.arrival_rate)
+        # Lewis-Shedler thinning: propose at the envelope rate
+        # base * peak, accept with factor(t)/peak.  Signature stays
+        # zero-argument; the internal clock tracks absolute time.
+        profile = self.rate_profile
+        envelope = self.arrival_rate * profile.peak
+        rng = self._rng
+        start = self._arrival_clock
+        t = start
+        while True:
+            t += rng.expovariate(envelope)
+            if rng.random() * profile.peak <= profile.factor(t):
+                self._arrival_clock = t
+                return t - start
 
     def make_flow(self, now: float) -> Flow:
         """Materialize the connection arriving at time ``now``.

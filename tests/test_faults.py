@@ -99,6 +99,30 @@ class TestHealthMonitor:
         # A failure long after the last one restarts the schedule.
         assert monitor.record_failure("s1", now=100.0) == 0.0
 
+    def test_flap_exactly_at_decay_boundary_still_escalates(self):
+        # The forgiveness test is strictly `now - last > decay_s`: a
+        # server that flaps *exactly* every decay_s seconds never earns
+        # the reset, so its backoff keeps climbing.
+        monitor = HealthMonitor(base_s=1.0, multiplier=2.0, decay_s=30.0)
+        assert monitor.record_failure("s1", now=0.0) == 0.0
+        assert monitor.record_failure("s1", now=30.0) == 1.0
+        assert monitor.record_failure("s1", now=60.0) == 2.0
+        # One tick past the boundary and history is forgiven.
+        assert monitor.record_failure("s1", now=90.0 + 1e-9) == 0.0
+
+    def test_probation_histories_are_per_server(self):
+        # Two servers failing in the same tick escalate independently;
+        # one recovering does not clear the other's probation.
+        monitor = HealthMonitor(base_s=1.0, decay_s=30.0)
+        assert monitor.record_failure("s1", now=0.0) == 0.0
+        assert monitor.record_failure("s2", now=0.0) == 0.0
+        assert monitor.record_failure("s1", now=5.0) == 1.0
+        assert monitor.failures("s2") == 1
+        monitor.note_recovered("s2", now=6.0)
+        assert not monitor.in_probation("s2")
+        assert monitor.in_probation("s1")
+        assert monitor.total_probation_s == 1.0
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             HealthMonitor(base_s=5.0, cap_s=1.0)
@@ -181,6 +205,29 @@ class TestSyncChannel:
         assert gone.ct.peek(1) is None
         assert kept.ct.peek(1) == "s1"
         assert channel.stats.dropped_targets == 1
+
+    def test_retry_backoff_carries_bounded_seeded_jitter(self):
+        # A lost attempt re-enqueues at base*2^(attempt-1) plus jitter
+        # drawn from the channel RNG: due in [backoff, 2*backoff).
+        def first_retry_due(seed):
+            channel = SyncChannel(
+                loss_probability=0.999999, lag_lookups=1, max_retries=3,
+                backoff_lookups=4, seed=seed,
+            )
+            peer = _Peer()
+            channel.replicate(1, "s1", (peer,))
+            channel.on_lookup()  # first attempt at lookup 1: lost
+            assert channel.pending == 1
+            return channel._pending[0][0]
+
+        for seed in range(8):
+            due = first_retry_due(seed)
+            assert 1 + 4 <= due < 1 + 8
+        # The jitter decorrelates differently-seeded channels (a shared
+        # schedule would re-synchronize retry storms after a heal)...
+        assert len({first_retry_due(seed) for seed in range(8)}) > 1
+        # ...while the same seed reproduces the same draw.
+        assert first_retry_due(3) == first_retry_due(3)
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):

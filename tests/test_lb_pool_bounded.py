@@ -170,3 +170,105 @@ class TestDegradedSync:
         assert LBPool(bounded_full_factory(), size=2, sync=False).sync is False
         channel = SyncChannel(loss_probability=0.1, seed=1)
         assert LBPool(bounded_full_factory(), size=2, sync=channel).sync is True
+
+
+class TestCrashSyncAccounting:
+    def test_crash_voids_pending_deliveries_into_lost(self):
+        # Entries still in flight to the crashed member must show up in
+        # the channel's accounted bill (stats.lost), never vanish.
+        channel = SyncChannel(lag_lookups=10_000)  # nothing delivers yet
+        pool = LBPool(bounded_full_factory(capacity=256), size=2, sync=channel)
+        for k in KEYS[:100]:
+            pool.get_destination(k)
+        pending_before = channel.pending
+        assert pending_before > 0
+        pool.crash_lb(1)
+        # Only deliveries owed *to* the victim are voided; entries the
+        # victim originated still pend toward the survivor.
+        dropped = channel.stats.dropped_targets
+        assert 0 < dropped < pending_before
+        assert channel.stats.lost >= dropped
+        assert channel.pending == pending_before - dropped
+
+    def test_heal_repairs_ct_via_anti_entropy(self):
+        # A healed member must not resume with a stale CT: heal_lb runs a
+        # donor-diff repair, billed to stats.anti_entropy.
+        channel = SyncChannel()
+        pool = LBPool(bounded_full_factory(capacity=1024), size=3, sync=channel)
+        stale = pool.partition_lb(1)
+        destinations = {k: pool.get_destination(k) for k in KEYS[:200]}
+        missing = [
+            k for k, d in destinations.items() if stale.ct.peek(k) != d
+        ]
+        assert missing  # the partitioned member missed replication
+        pool.heal_lb(1)
+        channel.drain()
+        assert channel.stats.anti_entropy >= len(missing)
+        donor = pool.members[0]
+        for k, d in donor.ct.items():
+            assert stale.ct.peek(k) == d
+
+
+class TestGossipPool:
+    """LBPool driven by the epidemic GossipSync channel."""
+
+    def make_pool(self, size=3, **gossip_kwargs):
+        from repro.control import GossipSync
+
+        gossip_kwargs.setdefault("fanout", 2)
+        gossip_kwargs.setdefault("round_lookups", 16)
+        channel = GossipSync(**gossip_kwargs)
+        pool = LBPool(
+            bounded_full_factory(capacity=4096), size=size, sync=channel
+        )
+        return pool, channel
+
+    def test_gossip_replicates_inserts_to_all_members(self):
+        pool, channel = self.make_pool()
+        destinations = {k: pool.get_destination(k) for k in KEYS[:300]}
+        channel.drain()
+        assert channel.converged
+        for member in pool.members:
+            for k, d in destinations.items():
+                assert member.ct.peek(k) == d
+
+    def test_partition_heal_converges_staleness_to_zero(self):
+        pool, channel = self.make_pool()
+        stale = pool.partition_lb(2)
+        for k in KEYS[:300]:
+            pool.get_destination(k)
+        channel.drain()
+        owed = channel.staleness_of(stale)
+        assert owed > 0
+        before = channel.stats.anti_entropy
+        pool.heal_lb(2)
+        channel.drain()
+        assert channel.staleness() == 0
+        assert channel.stats.anti_entropy - before >= owed
+
+    def test_gossip_crash_accounts_unreplicated_in_lost(self):
+        # Partition the victim first so its own inserts cannot spread:
+        # crashing it then *guarantees* un-replicated deltas to account.
+        pool, channel = self.make_pool()
+        victim = pool.partition_lb(2)
+        inserted = sum(
+            1 for k in KEYS[:300]
+            if pool._steer(k) is victim and pool.get_destination(k) is not None
+            and victim.ct.peek(k) is not None
+        )
+        assert inserted > 0
+        pool.crash_lb(2)
+        assert channel.stats.unreplicated > 0
+        assert channel.stats.lost >= channel.stats.unreplicated
+        assert pool.degraded or channel.degraded
+
+    def test_grow_backfills_new_member_by_anti_entropy(self):
+        pool, channel = self.make_pool(size=2)
+        destinations = {k: pool.get_destination(k) for k in KEYS[:200]}
+        channel.drain()
+        member = pool.add_lb()
+        assert channel.staleness_of(member) > 0
+        channel.drain()
+        assert channel.staleness_of(member) == 0
+        for k, d in destinations.items():
+            assert member.ct.peek(k) == d

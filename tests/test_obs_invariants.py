@@ -112,7 +112,13 @@ class TestOccupancyBoundMonitor:
 class TestSuiteAndSerialization:
     def test_default_suite_composition(self):
         names = [m.name for m in default_monitors()]
-        assert names == ["tracked_fraction", "pcc_accounting", "ct_occupancy_bound"]
+        assert names == [
+            "tracked_fraction",
+            "pcc_accounting",
+            "ct_occupancy_bound",
+            "horizon_fidelity",
+            "gossip_convergence",
+        ]
 
     def test_result_json_round_trip(self):
         result = MonitorResult(name="x", ok=False, observed=1.0, expected=2.0)
@@ -145,6 +151,7 @@ class TestEvaluateAndExport:
         assert digest["final_t"] == 5.0
         assert [r.name for r in digest["invariants"]] == [
             "tracked_fraction", "pcc_accounting", "ct_occupancy_bound",
+            "horizon_fidelity", "gossip_convergence",
         ]
 
 
