@@ -21,6 +21,7 @@ from repro.ch.base import (
     HorizonConsistentHash,
     Name,
     has_batch_kernel,
+    has_index_kernel,
 )
 from repro.ch.hrw import HRWHash
 from repro.ch.ring import RingHash
@@ -57,6 +58,7 @@ __all__ = [
     "HorizonConsistentHash",
     "Name",
     "has_batch_kernel",
+    "has_index_kernel",
     "HRWHash",
     "RingHash",
     "IncrementalRingHash",

@@ -193,6 +193,10 @@ class AnchorHash(HorizonConsistentHash):
         self._buckets = AnchorBuckets(capacity, len(working))
         self._bucket_of: Dict[Name, int] = {}
         self._name_of: Dict[int, Optional[Name]] = {}
+        # Cached bucket -> name object array (the canonical backend
+        # table).  Replaced -- never mutated -- whenever ownership
+        # changes, so downstream translation caches can key on identity.
+        self._names_table: Optional[np.ndarray] = None
         self._working_names: set = set()
         self._horizon_names: set = set()
 
@@ -208,6 +212,7 @@ class AnchorHash(HorizonConsistentHash):
             raise BackendError(f"server {name!r} already present")
         self._bucket_of[name] = bucket
         self._name_of[bucket] = name
+        self._names_table = None
 
     def _swap_owners(self, bucket_a: int, bucket_b: int) -> None:
         """Exchange the owners of two buckets (the A.5 indirection)."""
@@ -217,6 +222,7 @@ class AnchorHash(HorizonConsistentHash):
         name_b = self._name_of.get(bucket_b)
         self._name_of[bucket_a] = name_b
         self._name_of[bucket_b] = name_a
+        self._names_table = None
         if name_a is not None:
             self._bucket_of[name_a] = bucket_b
         if name_b is not None:
@@ -256,18 +262,36 @@ class AnchorHash(HorizonConsistentHash):
         keys = np.asarray(keys, dtype=np.uint64)
         if len(keys) == 0:
             return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        indices, unsafe = self.lookup_with_safety_batch_idx(keys)
+        return self.backend_table()[indices], unsafe
+
+    def lookup_with_safety_batch_idx(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All-integer Algorithm 5: the winning *bucket* is already the
+        index into :meth:`backend_table` (buckets own at most one name),
+        so the kernel is the wandering pass plus the safety compare with
+        no name traffic at all."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int32), np.zeros(0, dtype=bool)
         buckets, penultimate = self._buckets.get_path_batch(keys)
-        names = np.empty(self._buckets.capacity, dtype=object)
-        for bucket, name in self._name_of.items():
-            names[bucket] = name
-        destinations = names[buckets]
         unsafe = np.zeros(len(keys), dtype=bool)
         walked = penultimate >= 0
         if walked.any():
             A = np.asarray(self._buckets.A, dtype=np.int64)
             boundary = self._buckets.N + len(self._horizon_names)
             unsafe[walked] = A[penultimate[walked]] < boundary
-        return destinations, unsafe
+        return buckets.astype(np.int32), unsafe
+
+    def backend_table(self) -> np.ndarray:
+        """Bucket -> owner-name object array (unowned buckets hold None)."""
+        if self._names_table is None:
+            table = np.empty(self._buckets.capacity, dtype=object)
+            for bucket, name in self._name_of.items():
+                table[bucket] = name
+            self._names_table = table
+        return self._names_table
 
     def lookup_union(self, key_hash: int) -> Name:
         """Destination once the whole horizon is admitted (canonical LIFO
@@ -333,6 +357,7 @@ class AnchorHash(HorizonConsistentHash):
         # region once |H| shrinks; drop the identity entirely.
         bucket = self._bucket_of.pop(name)
         self._name_of[bucket] = None
+        self._names_table = None
         self._horizon_names.discard(name)
 
     def force_add_working(self, name: Name) -> None:
@@ -358,9 +383,11 @@ class AnchorHash(HorizonConsistentHash):
             self._bucket_of[displaced] = replacement
             self._name_of[replacement] = displaced
             self._name_of[top] = None
+            self._names_table = None
         elif displaced is not None:
             del self._bucket_of[displaced]
             self._name_of[top] = None
+            self._names_table = None
         self._own(name, top)
         self._buckets.add()
         self._working_names.add(name)

@@ -27,6 +27,8 @@ from typing import FrozenSet, Hashable, Tuple
 
 import numpy as np
 
+from repro.hashing.keyed import server_seed
+
 Name = Hashable
 
 
@@ -65,6 +67,53 @@ class ConsistentHash(ABC):
         out = np.empty(len(found), dtype=object)
         out[:] = found
         return out
+
+    # --------------------------------------------------- index dataplane
+    def backend_table(self) -> np.ndarray:
+        """Canonical backend table: an object array of server names that
+        :meth:`lookup_batch_idx` results index into.
+
+        The table's *identity* is the cache key of the columnar dataplane
+        (:class:`repro.core.indexing.BackendIndexer` translations): a CH
+        must return the **same array object** while the backend is
+        unchanged and a **new array** after any change -- never mutate a
+        published table in place.  ``None`` entries (retired slots) are
+        allowed; no lookup may ever resolve to one.  This default caches
+        on the working set and serves the scalar-spec index path below;
+        vectorized families override it with their kernel's own table.
+        """
+        cached = getattr(self, "_spec_table_cache", None)
+        working = self.working
+        if cached is not None and cached[0] == working:
+            return cached[1]
+        names = sorted(working, key=server_seed)
+        table = np.empty(len(names), dtype=object)
+        table[:] = names
+        self._spec_table_cache = (working, table, {n: i for i, n in enumerate(names)})
+        return table
+
+    def _spec_table_index(self) -> dict:
+        """Name -> index map for the default :meth:`backend_table`."""
+        self.backend_table()
+        return self._spec_table_cache[2]
+
+    def lookup_batch_idx(self, keys: np.ndarray) -> np.ndarray:
+        """Int32 indices into :meth:`backend_table`, one per key.
+
+        The integer twin of :meth:`lookup_batch`: defined so that
+        ``backend_table()[lookup_batch_idx(keys)]`` equals
+        ``lookup_batch(keys)`` element for element.  This default resolves
+        names through the scalar spec and maps them back -- families with
+        a real kernel override it to return their internal indices
+        directly, with no object-array traffic at all.
+        """
+        table_index = self._spec_table_index()
+        found = self.lookup_batch(keys)
+        return np.fromiter(
+            (table_index[name] for name in found.tolist()),
+            dtype=np.int32,
+            count=len(found),
+        )
 
     @abstractmethod
     def add(self, name: Name) -> None:
@@ -131,6 +180,23 @@ class HorizonConsistentHash(ConsistentHash):
         destinations[:] = found
         return destinations, np.array(unsafe, dtype=bool)
 
+    def lookup_with_safety_batch_idx(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indices, unsafe_mask)``: the integer twin of
+        :meth:`lookup_with_safety_batch` (indices into
+        :meth:`~ConsistentHash.backend_table`).  Default resolves through
+        the name path; vectorized families return their internal indices.
+        """
+        table_index = self._spec_table_index()
+        found, unsafe = self.lookup_with_safety_batch(keys)
+        indices = np.fromiter(
+            (table_index[name] for name in found.tolist()),
+            dtype=np.int32,
+            count=len(found),
+        )
+        return indices, unsafe
+
     @abstractmethod
     def add_working(self, name: Name) -> None:
         """Move ``name`` from the horizon into the working set."""
@@ -173,6 +239,10 @@ class HorizonConsistentHash(ConsistentHash):
         destinations, _ = self.lookup_with_safety_batch(keys)
         return destinations
 
+    def lookup_batch_idx(self, keys: np.ndarray) -> np.ndarray:
+        indices, _ = self.lookup_with_safety_batch_idx(keys)
+        return indices
+
     def lookup_union(self, key_hash: int) -> Name:
         """Return ``CH(W ∪ H, k)``: the destination after the whole horizon
         joins, in the canonical order.  Reference implementation used by
@@ -199,3 +269,24 @@ def has_batch_kernel(ch: ConsistentHash) -> bool:
             is not HorizonConsistentHash.lookup_with_safety_batch
         )
     return cls.lookup_batch is not ConsistentHash.lookup_batch
+
+
+def has_index_kernel(ch: ConsistentHash) -> bool:
+    """True iff ``ch`` overrides its *integer* batch lookup with real
+    vector code.
+
+    The capability probe behind the columnar dataplane: the default index
+    methods route through the name path and a dict remap, so a columnar
+    driver (``get_destinations_batch_idx``, the columnar replay loop)
+    would pay the object-array cost anyway plus the remap.  As with
+    :func:`has_batch_kernel`, horizon hashes are judged on
+    ``lookup_with_safety_batch_idx`` and plain hashes on
+    ``lookup_batch_idx``.
+    """
+    cls = type(ch)
+    if isinstance(ch, HorizonConsistentHash):
+        return (
+            cls.lookup_with_safety_batch_idx
+            is not HorizonConsistentHash.lookup_with_safety_batch_idx
+        )
+    return cls.lookup_batch_idx is not ConsistentHash.lookup_batch_idx

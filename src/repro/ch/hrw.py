@@ -28,6 +28,12 @@ class HRWHash(HorizonConsistentHash):
     def __init__(self, working: Iterable[Name] = (), horizon: Iterable[Name] = ()):
         self._working: Dict[Name, KeyedHasher] = {}
         self._horizon: Dict[Name, KeyedHasher] = {}
+        # Batch kernel caches: (seeds, names) per side, rebuilt on change.
+        # The names array doubles as the canonical backend table, so a
+        # rebuild (fresh array object) is what signals downstream
+        # translation caches to refresh (identity-based invalidation).
+        self._w_matrix = None
+        self._h_matrix = None
         for name in working:
             self._admit(self._working, name)
         for name in horizon:
@@ -46,6 +52,7 @@ class HRWHash(HorizonConsistentHash):
         if name in self._working or name in self._horizon:
             raise BackendError(f"server {name!r} already present")
         side[name] = KeyedHasher(name)
+        self._invalidate_matrices()
 
     # ----------------------------------------------------------- lookup
     def lookup(self, key_hash: int) -> Name:
@@ -73,26 +80,37 @@ class HRWHash(HorizonConsistentHash):
         return best.name
 
     def lookup_with_safety_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized Algorithm 2 name path: the index kernel plus one
+        gather through the cached backend table."""
+        indices, unsafe = self.lookup_with_safety_batch_idx(keys)
+        return self.backend_table()[indices], unsafe
+
+    def lookup_with_safety_batch_idx(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorized Algorithm 2: one weight matrix per side, argmax over
         servers.  Server rows are sorted by descending seed so that
         ``argmax`` (first maximum) realizes the scalar ``(weight, seed)``
-        lexicographic tie-break."""
+        lexicographic tie-break.  Returns indices into
+        :meth:`backend_table` (the seed-sorted working names)."""
         keys = np.asarray(keys, dtype=np.uint64)
         n = len(keys)
         if n == 0:
-            return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+            return np.empty(0, dtype=np.int32), np.zeros(0, dtype=bool)
         if not self._working:
             raise BackendError("lookup on empty working set")
-        w_seeds, w_names = self._seed_matrix(self._working)
+        w_seeds, _ = self._working_matrix()
         weights = v_mix2_outer(w_seeds, keys)
         winner = weights.argmax(axis=0)
+        indices = winner.astype(np.int32)
         columns = np.arange(n)
         best_weight = weights[winner, columns]
-        destinations = w_names[winner]
         if not self._horizon:
-            return destinations, np.zeros(n, dtype=bool)
+            return indices, np.zeros(n, dtype=bool)
         best_seed = w_seeds[winner]
-        h_seeds, _ = self._seed_matrix(self._horizon)
+        if self._h_matrix is None:
+            self._h_matrix = self._seed_matrix(self._horizon)
+        h_seeds, _ = self._h_matrix
         h_weights = v_mix2_outer(h_seeds, keys)
         challenger = h_weights.argmax(axis=0)
         h_best = h_weights[challenger, columns]
@@ -100,7 +118,21 @@ class HRWHash(HorizonConsistentHash):
         unsafe = (h_best > best_weight) | (
             (h_best == best_weight) & (h_seed > best_seed)
         )
-        return destinations, unsafe
+        return indices, unsafe
+
+    def backend_table(self) -> np.ndarray:
+        """Working names sorted by descending seed -- the argmax row order
+        of the batch kernel (identity-stable until a backend change)."""
+        return self._working_matrix()[1]
+
+    def _working_matrix(self):
+        if self._w_matrix is None:
+            self._w_matrix = self._seed_matrix(self._working)
+        return self._w_matrix
+
+    def _invalidate_matrices(self) -> None:
+        self._w_matrix = None
+        self._h_matrix = None
 
     @staticmethod
     def _seed_matrix(side: Dict[Name, KeyedHasher]):
@@ -132,12 +164,14 @@ class HRWHash(HorizonConsistentHash):
         if hasher is None:
             raise BackendError(f"server {name!r} is not in the horizon")
         self._working[name] = hasher
+        self._invalidate_matrices()
 
     def remove_working(self, name: Name) -> None:
         hasher = self._working.pop(name, None)
         if hasher is None:
             raise BackendError(f"server {name!r} is not working")
         self._horizon[name] = hasher
+        self._invalidate_matrices()
 
     def add_horizon(self, name: Name) -> None:
         self._admit(self._horizon, name)
@@ -145,3 +179,4 @@ class HRWHash(HorizonConsistentHash):
     def remove_horizon(self, name: Name) -> None:
         if self._horizon.pop(name, None) is None:
             raise BackendError(f"server {name!r} is not in the horizon")
+        self._invalidate_matrices()

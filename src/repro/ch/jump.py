@@ -73,6 +73,9 @@ class JumpHash(HorizonConsistentHash):
         if len(set(self._order)) != len(self._order):
             raise BackendError("duplicate server names")
         self._n_working = len(list(working))
+        # Cached backend table (working prefix of _order); replaced on
+        # any mutation so translation caches can key on identity.
+        self._names_table = None
 
     # ------------------------------------------------------------- sets
     @property
@@ -97,10 +100,21 @@ class JumpHash(HorizonConsistentHash):
         return self._order[bucket], union_bucket != bucket
 
     def lookup_with_safety_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized stack-horizon safety: one jump per set size."""
+        """Vectorized name path: index kernel plus one table gather."""
         keys = np.asarray(keys, dtype=np.uint64)
         if len(keys) == 0:
             return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        indices, unsafe = self.lookup_with_safety_batch_idx(keys)
+        return self.backend_table()[indices], unsafe
+
+    def lookup_with_safety_batch_idx(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized stack-horizon safety: one jump per set size; the
+        bucket *is* the index into :meth:`backend_table` (addition order)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int32), np.zeros(0, dtype=bool)
         if self._n_working == 0:
             raise BackendError("lookup on empty working set")
         buckets = v_jump_bucket(keys, self._n_working)
@@ -108,9 +122,15 @@ class JumpHash(HorizonConsistentHash):
             union_buckets = buckets
         else:
             union_buckets = v_jump_bucket(keys, len(self._order))
-        names = np.empty(self._n_working, dtype=object)
-        names[:] = self._order[: self._n_working]
-        return names[buckets], union_buckets != buckets
+        return buckets.astype(np.int32), union_buckets != buckets
+
+    def backend_table(self) -> np.ndarray:
+        """Working servers in addition order (Jump's bucket order)."""
+        if self._names_table is None:
+            table = np.empty(self._n_working, dtype=object)
+            table[:] = self._order[: self._n_working]
+            self._names_table = table
+        return self._names_table
 
     def lookup_union(self, key_hash: int) -> Name:
         if not self._order:
@@ -126,6 +146,7 @@ class JumpHash(HorizonConsistentHash):
                 f"not {name!r}"
             )
         self._n_working += 1
+        self._names_table = None
 
     def remove_working(self, name: Name) -> None:
         if self._n_working == 0 or self._order[self._n_working - 1] != name:
@@ -134,6 +155,7 @@ class JumpHash(HorizonConsistentHash):
                 f"{self._order[self._n_working - 1] if self._n_working else None!r}, not {name!r}"
             )
         self._n_working -= 1
+        self._names_table = None
 
     def add_horizon(self, name: Name) -> None:
         if name in self._order:
@@ -150,3 +172,4 @@ class JumpHash(HorizonConsistentHash):
             raise BackendError("Jump cannot force-add while a horizon exists")
         self._order.append(name)
         self._n_working += 1
+        self._names_table = None

@@ -80,6 +80,21 @@ class MaglevHash(ConsistentHash):
         rows = (keys % np.uint64(self.table_size)).astype(np.intp)
         return self._names_obj[self._table_idx[rows]]
 
+    def lookup_batch_idx(self, keys: np.ndarray) -> np.ndarray:
+        """All-integer table walk: one row gather, indices into
+        :meth:`backend_table` (the population's compact name array)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int32)
+        if not self._perm_params:
+            raise BackendError("lookup on empty working set")
+        rows = (keys % np.uint64(self.table_size)).astype(np.intp)
+        return self._table_idx[rows]
+
+    def backend_table(self) -> np.ndarray:
+        """Backend index -> name (replaced wholesale on each repopulation)."""
+        return self._names_obj
+
     def row_counts(self) -> Dict[Name, int]:
         """Rows owned per backend (balance diagnostics)."""
         counts: Dict[Name, int] = {name: 0 for name in self._perm_params}

@@ -28,6 +28,9 @@ class ModuloHash(HorizonConsistentHash):
     def __init__(self, working: Iterable[Name] = (), horizon: Iterable[Name] = ()):
         self._working: List[Name] = sorted(working, key=server_seed)
         self._horizon: List[Name] = sorted(horizon, key=server_seed)
+        # Cached backend table (sorted working list); replaced on any
+        # working-set mutation so translation caches can key on identity.
+        self._names_table = None
 
     @property
     def working(self) -> FrozenSet[Name]:
@@ -54,20 +57,36 @@ class ModuloHash(HorizonConsistentHash):
         return destination, unsafe
 
     def lookup_with_safety_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized mod-N: one modulo per union size."""
+        """Vectorized name path: index kernel plus one table gather."""
         keys = np.asarray(keys, dtype=np.uint64)
         if len(keys) == 0:
             return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        indices, unsafe = self.lookup_with_safety_batch_idx(keys)
+        return self.backend_table()[indices], unsafe
+
+    def lookup_with_safety_batch_idx(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized mod-N: one modulo per union size, all-integer."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int32), np.zeros(0, dtype=bool)
         n = len(self._working)
         if n == 0:
             raise BackendError("lookup on empty working set")
         indices = keys % np.uint64(n)
-        names = np.empty(n, dtype=object)
-        names[:] = self._working
         unsafe = np.zeros(len(keys), dtype=bool)
         for extra in range(1, len(self._horizon) + 1):
             unsafe |= keys % np.uint64(n + extra) != indices
-        return names[indices.astype(np.intp)], unsafe
+        return indices.astype(np.int32), unsafe
+
+    def backend_table(self) -> np.ndarray:
+        """The canonically sorted working list as an object array."""
+        if self._names_table is None:
+            table = np.empty(len(self._working), dtype=object)
+            table[:] = self._working
+            self._names_table = table
+        return self._names_table
 
     def lookup_union(self, key_hash: int) -> Name:
         servers = sorted(self._working + self._horizon, key=server_seed)
@@ -81,6 +100,7 @@ class ModuloHash(HorizonConsistentHash):
         self._horizon.remove(name)
         self._working.append(name)
         self._working.sort(key=server_seed)
+        self._names_table = None
 
     def remove_working(self, name: Name) -> None:
         if name not in self._working:
@@ -88,6 +108,7 @@ class ModuloHash(HorizonConsistentHash):
         self._working.remove(name)
         self._horizon.append(name)
         self._horizon.sort(key=server_seed)
+        self._names_table = None
 
     def add_horizon(self, name: Name) -> None:
         if name in self._working or name in self._horizon:

@@ -234,6 +234,30 @@ class RingHash(HorizonConsistentHash):
         keys = np.asarray(keys, dtype=np.uint64)
         if len(keys) == 0:
             return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+        index = self._search_batch(keys)
+        return self._np_entry_names[index], self._np_track[index]
+
+    def lookup_with_safety_batch_idx(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All-integer variant: the same successor search, but the entry's
+        owner is returned as its index into :meth:`backend_table` (the
+        kernel's compact name array) instead of gathering the name."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int32), np.zeros(0, dtype=bool)
+        index = self._search_batch(keys)
+        return self._np_entry_server[index], self._np_track[index]
+
+    def backend_table(self) -> np.ndarray:
+        """The kernel's compact owner-name array (fresh object on rebuild)."""
+        if self._dirty:
+            self._rebuild()
+        self._ensure_kernel()
+        return self._np_names
+
+    def _search_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Successor entry index per key via the quantized-prefix index."""
         if self._dirty:
             self._rebuild()
         if not self._working:
@@ -251,7 +275,7 @@ class RingHash(HorizonConsistentHash):
             index[active] = at
             active = active[advanced & (at < hi[active])]
         index[index == len(positions)] = 0  # clockwise wrap (mod n)
-        return self._np_entry_names[index], self._np_track[index]
+        return index
 
     def iter_successors(self, key_hash: int):
         """Yield distinct *working* servers in clockwise ring order from

@@ -62,6 +62,10 @@ class TableHRWHash(HorizonConsistentHash):
 
         self._names: List[Name] = []           # id -> name (never reused)
         self._ids: Dict[Name, int] = {}        # name -> id
+        # Cached backend table (object-array twin of _names); replaced --
+        # never mutated -- whenever an id is registered or retired, so
+        # downstream translation caches can key on its identity.
+        self._names_table: Optional[np.ndarray] = None
         self._weights: Dict[int, np.ndarray] = {}  # id -> per-row weights
         self._working_ids: set = set()
         self._horizon_ids: set = set()
@@ -85,6 +89,7 @@ class TableHRWHash(HorizonConsistentHash):
         new_id = len(self._names)
         self._names.append(name)
         self._ids[name] = new_id
+        self._names_table = None
         self._weights[new_id] = v_mix2(server_seed(name), self._row_hashes)
         return new_id
 
@@ -155,17 +160,32 @@ class TableHRWHash(HorizonConsistentHash):
         return self._names[winner], bool(self._tr[row])
 
     def lookup_with_safety_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized Algorithm 4 lookup: two indexed gathers per batch."""
+        """Vectorized Algorithm 4 name path: the index kernel plus one
+        gather through the cached backend table."""
+        indices, unsafe = self.lookup_with_safety_batch_idx(keys)
+        return self.backend_table()[indices], unsafe
+
+    def lookup_with_safety_batch_idx(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized Algorithm 4 lookup: two indexed gathers per batch,
+        all-integer (winner ids index :meth:`backend_table`)."""
         keys = np.asarray(keys, dtype=np.uint64)
         if len(keys) == 0:
-            return np.empty(0, dtype=object), np.zeros(0, dtype=bool)
+            return np.empty(0, dtype=np.int32), np.zeros(0, dtype=bool)
         rows = (keys % np.uint64(self.rows)).astype(np.intp)
         winners = self._ch[rows]
-        if (winners == _NO_SERVER).any():
+        if not self._working_ids:
             raise BackendError("lookup on empty working set")
-        names = np.empty(len(self._names), dtype=object)
-        names[:] = self._names
-        return names[winners], self._tr[rows].copy()
+        return winners.astype(np.int32), self._tr[rows].copy()
+
+    def backend_table(self) -> np.ndarray:
+        """Id -> name object array (retired ids hold None, never looked up)."""
+        if self._names_table is None:
+            table = np.empty(len(self._names), dtype=object)
+            table[:] = self._names
+            self._names_table = table
+        return self._names_table
 
     def lookup_union(self, key_hash: int) -> Name:
         row = key_hash % self.rows
@@ -231,6 +251,7 @@ class TableHRWHash(HorizonConsistentHash):
         del self._ids[name]
         del self._weights[sid]
         self._names[sid] = None  # id retired, never reused
+        self._names_table = None
         held = self._h_id == sid
         self._recompute_horizon_max(held)
         self._refresh_tr(self._tr.copy())

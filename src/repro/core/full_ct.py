@@ -20,7 +20,13 @@ from typing import FrozenSet, Optional, Set
 
 import numpy as np
 
-from repro.ch.base import ConsistentHash, HorizonConsistentHash, has_batch_kernel
+from repro.ch.base import (
+    ConsistentHash,
+    HorizonConsistentHash,
+    has_batch_kernel,
+    has_index_kernel,
+)
+from repro.core.indexing import BackendIndexer
 from repro.core.interfaces import LoadBalancer, Name
 from repro.ct.base import ConnectionTracker
 from repro.ct.unbounded import UnboundedCT
@@ -41,6 +47,9 @@ class FullCTLoadBalancer(LoadBalancer):
         self._horizon_aware = isinstance(ch, HorizonConsistentHash)
         self._working: Set[Name] = set(ch.working)
         self._ch_batch_kernel = has_batch_kernel(ch)
+        self._ch_index_kernel = has_index_kernel(ch)
+        self._indexer = BackendIndexer()
+        self._ct_idx = False
 
     @property
     def batch_effective(self) -> bool:
@@ -50,8 +59,18 @@ class FullCTLoadBalancer(LoadBalancer):
             and self.active_cleanup
         )
 
+    @property
+    def columnar_effective(self) -> bool:
+        return bool(
+            self._ch_index_kernel
+            and self.ct.batch_reorder_safe
+            and self.active_cleanup
+        )
+
     # ----------------------------------------------------------- packet
     def get_destination(self, key_hash: int) -> Name:
+        if self._ct_idx:
+            return self._get_destination_idx(key_hash)
         destination = self.ct.get(key_hash)
         if destination is not None:
             if destination in self._working:
@@ -59,6 +78,18 @@ class FullCTLoadBalancer(LoadBalancer):
             self.ct.delete(key_hash)
         destination = self.ch.lookup(key_hash)
         self.ct.put(key_hash, destination)  # track unconditionally
+        return destination
+
+    def _get_destination_idx(self, key_hash: int) -> Name:
+        """Scalar full-CT against an index-mode table (values are ids)."""
+        ident = self.ct.get(key_hash)
+        if ident is not None:
+            destination = self._indexer.names[ident]
+            if destination in self._working:
+                return destination
+            self.ct.delete(key_hash)
+        destination = self.ch.lookup(key_hash)
+        self.ct.put(key_hash, self._indexer.get_id(destination))
         return destination
 
     def get_destinations_batch(self, keys: np.ndarray) -> np.ndarray:
@@ -74,6 +105,8 @@ class FullCTLoadBalancer(LoadBalancer):
         keys = np.asarray(keys, dtype=np.uint64)
         if len(keys) == 0:
             return np.empty(0, dtype=object)
+        if self._ct_idx:
+            return self._indexer.name_array()[self.get_destinations_batch_idx(keys)]
         if not self.batch_effective:
             return LoadBalancer.get_destinations_batch(self, keys)
         destinations = self.ct.get_batch(keys)
@@ -86,6 +119,40 @@ class FullCTLoadBalancer(LoadBalancer):
             destinations[miss] = found
             self.ct.put_batch(miss_keys, found)
         return destinations
+
+    # ------------------------------------------------- columnar dispatch
+    def _engage_idx_mode(self) -> None:
+        if not self._ct_idx:
+            self.ct.remap_values(self._indexer.get_id)
+            self._ct_idx = True
+
+    def get_destinations_batch_idx(self, keys: np.ndarray) -> np.ndarray:
+        """Batched full CT, all-integer: id probe -> integer CH kernel ->
+        stable-id translation -> insert *every* miss (track-all policy)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        self._engage_idx_mode()
+        ids = self.ct.get_batch_idx(keys)
+        miss = ids < 0
+        if miss.any():
+            miss_keys = keys[miss]
+            ch_idx = self.ch.lookup_batch_idx(miss_keys)
+            found = self._indexer.translate(self.ch.backend_table())[ch_idx]
+            ids[miss] = found
+            self.ct.put_batch_idx(miss_keys, found)
+        return ids
+
+    def dispatch_names(self) -> np.ndarray:
+        return self._indexer.name_array()
+
+    def dispatch_working_mask(self) -> np.ndarray:
+        return self._indexer.working_mask(self._working)
+
+    def tracked_items(self) -> dict:
+        """CT contents as ``{key: destination-name}``, decoding index mode."""
+        if self._ct_idx:
+            names = self._indexer.names
+            return {key: names[ident] for key, ident in self.ct.items()}
+        return dict(self.ct.items())
 
     # -------------------------------------------------- backend changes
     def add_working_server(self, name: Name) -> None:
@@ -102,7 +169,9 @@ class FullCTLoadBalancer(LoadBalancer):
             self.ch.remove(name)
         self._working.discard(name)
         if self.active_cleanup:
-            self.ct.invalidate_destination(name)
+            self.ct.invalidate_destination(
+                self._indexer.get_id(name) if self._ct_idx else name
+            )
 
     def add_horizon_server(self, name: Name) -> None:
         if self._horizon_aware:

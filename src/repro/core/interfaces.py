@@ -58,6 +58,54 @@ class LoadBalancer(ABC):
         """
         return type(self).get_destinations_batch is not LoadBalancer.get_destinations_batch
 
+    # ------------------------------------------------- columnar dispatch
+    # The integer-index dataplane: destinations flow as int32 *backend
+    # ids* (stable, LB-local, append-only -- see repro.core.indexing) and
+    # names are materialized only at the metrics/result edge through
+    # :meth:`dispatch_names`.  Drivers must probe
+    # :attr:`columnar_effective` first; balancers that answer False keep
+    # these methods unimplemented and are served by the name/scalar paths.
+
+    @property
+    def columnar_effective(self) -> bool:
+        """True iff :meth:`get_destinations_batch_idx` is wired and fast.
+
+        Same never-slower philosophy as :attr:`batch_effective`, one
+        level up: the columnar path additionally needs an integer CH
+        kernel and an int-valued CT, so composed LBs gate on
+        ``has_index_kernel`` plus their CT/cleanup invariants.
+        """
+        return False
+
+    def get_destinations_batch_idx(self, keys: np.ndarray) -> np.ndarray:
+        """Destination ids (int32, indices into :meth:`dispatch_names`)
+        for a uint64 key array.
+
+        Contract: ``dispatch_names()[ids]`` equals
+        :meth:`get_destinations_batch` on the same keys, and ids are
+        stable across backend changes (an id keeps naming the same
+        server for the balancer's lifetime).  Only defined when
+        :attr:`columnar_effective` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no columnar dispatch path"
+        )
+
+    def dispatch_names(self) -> np.ndarray:
+        """Object array mapping dispatch ids -> server names (edge use)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no columnar dispatch path"
+        )
+
+    def dispatch_working_mask(self) -> np.ndarray:
+        """Bool array over dispatch ids: True where the server is working.
+
+        Rebuilt on every call; drivers cache it between backend events.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no columnar dispatch path"
+        )
+
     @abstractmethod
     def add_working_server(self, name: Name) -> None:
         """ADDWORKINGSERVER: admit ``name`` (from the horizon if one exists)."""

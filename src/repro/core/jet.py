@@ -24,7 +24,8 @@ from typing import FrozenSet, Optional, Set
 
 import numpy as np
 
-from repro.ch.base import HorizonConsistentHash, has_batch_kernel
+from repro.ch.base import HorizonConsistentHash, has_batch_kernel, has_index_kernel
+from repro.core.indexing import BackendIndexer
 from repro.core.interfaces import LoadBalancer, Name
 from repro.ct.base import ConnectionTracker
 from repro.ct.unbounded import UnboundedCT
@@ -44,9 +45,15 @@ class JETLoadBalancer(LoadBalancer):
         self.active_cleanup = active_cleanup
         # Mirror of ch.working with O(1) membership, for lazy CT validation.
         self._working: Set[Name] = set(ch.working)
-        # Capability probe, resolved once: the composed batch path only
-        # pays off when the CH actually vectorizes.
+        # Capability probes, resolved once: the composed batch path only
+        # pays off when the CH actually vectorizes; the columnar path
+        # additionally needs the integer-index kernel.
         self._ch_batch_kernel = has_batch_kernel(ch)
+        self._ch_index_kernel = has_index_kernel(ch)
+        # Stable backend-id space for the columnar path; the CT switches
+        # to storing ids (index mode) lazily, on the first columnar call.
+        self._indexer = BackendIndexer()
+        self._ct_idx = False
 
     @property
     def batch_effective(self) -> bool:
@@ -56,9 +63,19 @@ class JETLoadBalancer(LoadBalancer):
             and self.active_cleanup
         )
 
+    @property
+    def columnar_effective(self) -> bool:
+        return bool(
+            self._ch_index_kernel
+            and self.ct.batch_reorder_safe
+            and self.active_cleanup
+        )
+
     # ------------------------------------------------------ Algorithm 1
     def get_destination(self, key_hash: int) -> Name:
         """GETDESTINATION (Algorithm 1 lines 1-7)."""
+        if self._ct_idx:
+            return self._get_destination_idx(key_hash)
         destination = self.ct.get(key_hash)
         if destination is not None:
             if destination in self._working:
@@ -68,6 +85,19 @@ class JETLoadBalancer(LoadBalancer):
         destination, unsafe = self.ch.lookup_with_safety(key_hash)
         if unsafe:
             self.ct.put(key_hash, destination)
+        return destination
+
+    def _get_destination_idx(self, key_hash: int) -> Name:
+        """Scalar Algorithm 1 against an index-mode CT (values are ids)."""
+        ident = self.ct.get(key_hash)
+        if ident is not None:
+            destination = self._indexer.names[ident]
+            if destination in self._working:
+                return destination
+            self.ct.delete(key_hash)
+        destination, unsafe = self.ch.lookup_with_safety(key_hash)
+        if unsafe:
+            self.ct.put(key_hash, self._indexer.get_id(destination))
         return destination
 
     def get_destinations_batch(self, keys: np.ndarray) -> np.ndarray:
@@ -86,6 +116,10 @@ class JETLoadBalancer(LoadBalancer):
         keys = np.asarray(keys, dtype=np.uint64)
         if len(keys) == 0:
             return np.empty(0, dtype=object)
+        if self._ct_idx:
+            # Index mode engaged: the CT holds ids, so the name path is
+            # the columnar path plus one edge gather.
+            return self._indexer.name_array()[self.get_destinations_batch_idx(keys)]
         if not self.batch_effective:
             return LoadBalancer.get_destinations_batch(self, keys)
         destinations = self.ct.get_batch(keys)
@@ -100,6 +134,52 @@ class JETLoadBalancer(LoadBalancer):
                 self.ct.put_batch(miss_keys[unsafe], found[unsafe])
         return destinations
 
+    # ------------------------------------------------- columnar dispatch
+    def _engage_idx_mode(self) -> None:
+        """Switch the CT to storing backend ids (once, on first use)."""
+        if not self._ct_idx:
+            self.ct.remap_values(self._indexer.get_id)
+            self._ct_idx = True
+
+    def get_destinations_batch_idx(self, keys: np.ndarray) -> np.ndarray:
+        """Batched Algorithm 1, all-integer: CT id probe (-1 miss) ->
+        integer CH kernel on the misses -> translate CH table positions
+        to stable backend ids -> batch-insert the unsafe misses.
+
+        No Python string is materialized anywhere on this path; names
+        exist only behind :meth:`dispatch_names`.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        self._engage_idx_mode()
+        ids = self.ct.get_batch_idx(keys)
+        miss = ids < 0
+        if miss.any():
+            miss_keys = keys[miss]
+            ch_idx, unsafe = self.ch.lookup_with_safety_batch_idx(miss_keys)
+            found = self._indexer.translate(self.ch.backend_table())[ch_idx]
+            ids[miss] = found
+            if unsafe.any():
+                self.ct.put_batch_idx(miss_keys[unsafe], found[unsafe])
+        return ids
+
+    def dispatch_names(self) -> np.ndarray:
+        return self._indexer.name_array()
+
+    def dispatch_working_mask(self) -> np.ndarray:
+        return self._indexer.working_mask(self._working)
+
+    def tracked_items(self) -> dict:
+        """CT contents as ``{key: destination-name}``, decoding index mode.
+
+        The differential suites compare CT state across scalar/name/index
+        paths through this accessor so they need not know which encoding
+        the table currently holds.
+        """
+        if self._ct_idx:
+            names = self._indexer.names
+            return {key: names[ident] for key, ident in self.ct.items()}
+        return dict(self.ct.items())
+
     # -------------------------------------------------- backend changes
     def add_working_server(self, name: Name) -> None:
         """ADDWORKINGSERVER (lines 8-10): ``name`` must be in the horizon."""
@@ -111,7 +191,10 @@ class JETLoadBalancer(LoadBalancer):
         self.ch.remove_working(name)
         self._working.discard(name)
         if self.active_cleanup:
-            self.ct.invalidate_destination(name)
+            # In index mode the CT stores ids, so invalidate the id.
+            self.ct.invalidate_destination(
+                self._indexer.get_id(name) if self._ct_idx else name
+            )
 
     def add_horizon_server(self, name: Name) -> None:
         """ADDHORIZONSERVER (line 14)."""

@@ -13,7 +13,13 @@ from typing import FrozenSet, Set
 
 import numpy as np
 
-from repro.ch.base import ConsistentHash, HorizonConsistentHash, has_batch_kernel
+from repro.ch.base import (
+    ConsistentHash,
+    HorizonConsistentHash,
+    has_batch_kernel,
+    has_index_kernel,
+)
+from repro.core.indexing import BackendIndexer
 from repro.core.interfaces import LoadBalancer, Name
 
 
@@ -25,16 +31,36 @@ class StatelessLoadBalancer(LoadBalancer):
         self._horizon_aware = isinstance(ch, HorizonConsistentHash)
         self._working: Set[Name] = set(ch.working)
         self._ch_batch_kernel = has_batch_kernel(ch)
+        self._ch_index_kernel = has_index_kernel(ch)
+        # Stable id space for the columnar path: CH table positions
+        # renumber under churn, dispatch ids must not.
+        self._indexer = BackendIndexer()
 
     @property
     def batch_effective(self) -> bool:
         return self._ch_batch_kernel
+
+    @property
+    def columnar_effective(self) -> bool:
+        return self._ch_index_kernel
 
     def get_destination(self, key_hash: int) -> Name:
         return self.ch.lookup(key_hash)
 
     def get_destinations_batch(self, keys: np.ndarray) -> np.ndarray:
         return self.ch.lookup_batch(np.asarray(keys, dtype=np.uint64))
+
+    # ------------------------------------------------- columnar dispatch
+    def get_destinations_batch_idx(self, keys: np.ndarray) -> np.ndarray:
+        """Integer CH kernel plus the table-position -> stable-id gather."""
+        ch_idx = self.ch.lookup_batch_idx(np.asarray(keys, dtype=np.uint64))
+        return self._indexer.translate(self.ch.backend_table())[ch_idx]
+
+    def dispatch_names(self) -> np.ndarray:
+        return self._indexer.name_array()
+
+    def dispatch_working_mask(self) -> np.ndarray:
+        return self._indexer.working_mask(self._working)
 
     def add_working_server(self, name: Name) -> None:
         if self._horizon_aware:

@@ -95,6 +95,53 @@ class ConnectionTracker(ABC):
         for k, d in zip(np.asarray(keys, dtype=np.uint64).tolist(), destinations):
             self.put(k, d)
 
+    # ------------------------------------------------- integer-index mode
+    # The columnar dataplane stores destinations as small ints (LB-local
+    # backend ids, see repro.core.indexing) instead of names.  A balancer
+    # switches a table to index mode by remapping the stored values once
+    # (:meth:`remap_values`); from then on the ``*_idx`` entry points
+    # move int32 arrays with -1 as the miss sentinel and no per-entry
+    # Python objects.  These defaults are the scalar spec; vectorized
+    # tables (UnboundedCT's open-addressing mirror) override them.
+
+    def get_batch_idx(self, keys: np.ndarray) -> np.ndarray:
+        """Tracked destination *ids* for a uint64 key array (-1 per miss).
+
+        Semantically ``[get(k) for k in keys]`` with ``None -> -1``, for a
+        table whose stored values are ints; stats totals included.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.full(len(keys), -1, dtype=np.int32)
+        for i, k in enumerate(keys.tolist()):
+            destination = self.get(k)
+            if destination is not None:
+                out[i] = destination
+        return out
+
+    def put_batch_idx(self, keys: np.ndarray, ids: np.ndarray) -> None:
+        """Track every ``(key, id)`` pair, in array order (int values)."""
+        for k, ident in zip(
+            np.asarray(keys, dtype=np.uint64).tolist(),
+            np.asarray(ids).tolist(),
+        ):
+            self.put(k, ident)
+
+    def remap_values(self, fn) -> None:
+        """Re-encode every stored destination through ``fn`` in place.
+
+        Used exactly once per table when a balancer's columnar path first
+        engages (name -> backend id).  Stats, recency order, and the key
+        set are untouched.  The default rewrites the ``_table`` dict every
+        dict-backed table in this package uses; exotic tables override.
+        """
+        table = getattr(self, "_table", None)
+        if table is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not support value remapping"
+            )
+        for key in table:
+            table[key] = fn(table[key])
+
     @abstractmethod
     def delete(self, key: int) -> bool:
         """Forget ``key``; True if it was tracked."""

@@ -100,6 +100,9 @@ class EventDrivenSimulation:
         # Never-slower guarantee: coalescing only pays when the LB's batch
         # path actually vectorizes; otherwise stay on the scalar loop.
         self._batch_effective = bool(getattr(balancer, "batch_effective", False))
+        # Columnar upgrade of the same path: dispatch as int32 backend ids
+        # and decode names through one table gather per batch.
+        self._columnar_effective = bool(getattr(balancer, "columnar_effective", False))
         self.workload = workload
         self.duration_s = duration_s
         self.sample_interval = sample_interval
@@ -476,7 +479,12 @@ class EventDrivenSimulation:
         keys = np.fromiter(
             (flow.key for flow in established), dtype=np.uint64, count=len(established)
         )
-        destinations = self.lb.get_destinations_batch(keys)
+        if self._columnar_effective:
+            ids = self.lb.get_destinations_batch_idx(keys)
+            names = self.lb.dispatch_names()
+            destinations = [names[i] for i in ids.tolist()]
+        else:
+            destinations = self.lb.get_destinations_batch(keys)
         for flow, destination in zip(established, destinations):
             if flow.broken:
                 # Defensive: each flow has at most one packet event in the

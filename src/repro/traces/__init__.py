@@ -1,7 +1,7 @@
 """Packet traces: synthetic generators, persistence, and replay."""
 
 from repro.traces.base import Trace
-from repro.traces.zipf import PAPER_SKEWS, zipf_trace
+from repro.traces.zipf import PAPER_SKEWS, zipf_trace, zipf_trace_stream
 from repro.traces.synthetic_dc import (
     NY18_FLOWS,
     NY18_PACKETS,
@@ -12,12 +12,13 @@ from repro.traces.synthetic_dc import (
     uni1_like,
 )
 from repro.traces.replay import ReplayResult, TraceEvent, replay, replay_batch
-from repro.traces.io import cached_trace, load_trace, save_trace
+from repro.traces.io import TraceWriter, cached_trace, load_trace, save_trace
 from repro.traces.from_pcap import trace_from_pcap
 
 __all__ = [
     "Trace",
     "zipf_trace",
+    "zipf_trace_stream",
     "PAPER_SKEWS",
     "dc_trace",
     "uni1_like",
@@ -33,5 +34,6 @@ __all__ = [
     "save_trace",
     "load_trace",
     "cached_trace",
+    "TraceWriter",
     "trace_from_pcap",
 ]

@@ -14,7 +14,7 @@ behind Fig. 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, Tuple
 
 import numpy as np
@@ -27,14 +27,22 @@ class Trace:
     name: str
     flow_keys: np.ndarray  # shape (n_flows,), dtype uint64
     packets: np.ndarray    # shape (n_packets,), dtype int64 (flow indices)
+    #: Skip the full range scan of ``packets`` on construction.  Set False
+    #: only for sources that validated at write time (the streaming trace
+    #: writer) -- a memmap-backed load would otherwise fault in the whole
+    #: file just to re-check what the writer already enforced.
+    validate: bool = field(default=True, repr=False, compare=False)
 
     def __post_init__(self):
-        self.flow_keys = np.asarray(self.flow_keys, dtype=np.uint64)
-        self.packets = np.asarray(self.packets, dtype=np.int64)
+        # asanyarray with the matching dtype is a no-copy view that keeps
+        # the np.memmap subclass, so nothing is faulted in here.
+        self.flow_keys = np.asanyarray(self.flow_keys, dtype=np.uint64)
+        self.packets = np.asanyarray(self.packets, dtype=np.int64)
         if len(self.flow_keys) == 0:
             raise ValueError("trace must contain at least one flow")
-        if self.packets.min(initial=0) < 0 or (
-            len(self.packets) and self.packets.max() >= len(self.flow_keys)
+        if self.validate and (
+            self.packets.min(initial=0) < 0
+            or (len(self.packets) and self.packets.max() >= len(self.flow_keys))
         ):
             raise ValueError("packet flow indices out of range")
 

@@ -149,7 +149,18 @@ def _build_result(
     for destination in first_destination:
         if destination is not None:
             loads[destination] = loads.get(destination, 0) + 1
+    return _finalize(trace, balancer, loads, violations, inevitable, wall)
 
+
+def _finalize(
+    trace: Trace,
+    balancer: LoadBalancer,
+    loads: Dict[Name, int],
+    violations: int,
+    inevitable: int,
+    wall: float,
+) -> ReplayResult:
+    """Assemble the ReplayResult from a per-server load dict."""
     active_servers = len(balancer.working)
     dispatched_flows = sum(loads.values())
     average = dispatched_flows / active_servers if active_servers else 0.0
@@ -215,7 +226,11 @@ def _publish_metrics(
         ).set(ct.stats.inserts / dispatched)
 
 
-DEFAULT_CHUNK = 8192
+# Chosen by the chunk-size sweep in experiments/throughput.py
+# (``--chunk-sizes``): per-chunk fixed costs (CT probe setup, mask
+# passes) amortize up to ~32k keys while the working arrays stay far
+# inside L2; the sweep's numbers ride along in BENCH_dataplane.json.
+DEFAULT_CHUNK = 32768
 
 
 def replay_batch(
@@ -241,11 +256,21 @@ def replay_batch(
     balancer whose ``batch_effective`` probe reports no real vector path
     (never-slower guarantee: batch assembly over a scalar-loop fallback
     only adds overhead, the 0.75-0.82x regressions of the PR 2 bench).
+
+    Balancers whose ``columnar_effective`` probe answers True take the
+    fully columnar loop instead: destinations flow as int32 backend ids,
+    all PCC accounting runs on preallocated numpy arrays, and names are
+    resolved once at the result edge -- zero Python objects per packet.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
     if getattr(balancer, "dispatches_new_connections", False):
         return replay(trace, balancer, events, metrics=metrics)
+    if (
+        getattr(balancer, "columnar_effective", False)
+        and getattr(balancer, "note_flow_start", None) is None
+    ):
+        return _replay_columnar(trace, balancer, events, chunk_size, metrics)
     if not getattr(balancer, "batch_effective", False):
         return replay(trace, balancer, events, metrics=metrics)
 
@@ -295,4 +320,92 @@ def replay_batch(
 
     result = _build_result(trace, balancer, first_destination, violations, inevitable, wall)
     _publish_metrics(metrics, balancer, result, path="batch", n_events=len(event_queue))
+    return result
+
+
+def _replay_columnar(
+    trace: Trace,
+    balancer: LoadBalancer,
+    events: Sequence[TraceEvent],
+    chunk_size: int,
+    metrics,
+) -> ReplayResult:
+    """The integer-index replay loop: no Python object per packet.
+
+    First-destination, broken-flow, and violation accounting all run on
+    preallocated int32/bool arrays keyed by backend id; each chunk is one
+    ``get_destinations_batch_idx`` call plus a handful of vectorized
+    compares.  Metric equivalence with the scalar loop rests on the same
+    argument as the name batch path (no backend change lands mid-chunk)
+    plus two index-path facts: ids are stable across backend changes, and
+    all occurrences of a newly seen flow within one chunk resolve to the
+    same id (CT gets precede puts), so fancy assignment into ``first`` is
+    order-independent.  Names are materialized exactly once, at the
+    result edge, after the stopwatch stops.
+    """
+    keys = np.ascontiguousarray(trace.flow_keys, dtype=np.uint64)
+    packets = trace.packets
+    n_packets = len(packets)
+    first = np.full(trace.n_flows, -1, dtype=np.int32)
+    broken = np.zeros(trace.n_flows, dtype=bool)
+    violations = 0
+    inevitable = 0
+    # Mirror the scalar hot path exactly: without events every mid-flow
+    # move counts as a violation (no working-set check).
+    check_working = bool(events)
+
+    event_queue = sorted(events, key=lambda ev: ev[0])
+    next_event = 0
+    n_events = len(event_queue)
+    get_batch_idx = balancer.get_destinations_batch_idx
+    # id -> currently-working, cached between events (ids are stable, the
+    # working set only changes when an event fires).
+    working_mask: Optional[np.ndarray] = None
+
+    watch = Stopwatch()
+    position = 0
+    while position < n_packets:
+        while next_event < n_events and event_queue[next_event][0] <= position:
+            event_queue[next_event][1](balancer)
+            next_event += 1
+            working_mask = None
+        end = min(position + chunk_size, n_packets)
+        if next_event < n_events:
+            end = min(end, event_queue[next_event][0])
+        flow_indices = packets[position:end]
+        ids = get_batch_idx(keys[flow_indices])
+        previous = first[flow_indices]
+        unseen = previous < 0
+        if unseen.any():
+            first[flow_indices[unseen]] = ids[unseen]
+        moved = (ids != previous) & ~unseen
+        if moved.any():
+            moved_flows = flow_indices[moved]
+            newly = np.unique(moved_flows[~broken[moved_flows]])
+            if len(newly):
+                broken[newly] = True
+                if check_working:
+                    if working_mask is None:
+                        working_mask = balancer.dispatch_working_mask()
+                    still_working = working_mask[first[newly]]
+                    hits = int(still_working.sum())
+                    violations += hits
+                    inevitable += len(newly) - hits
+                else:
+                    violations += len(newly)
+        position = end
+    wall = watch.stop()
+
+    # Edge-only name resolution: one bincount over ids, one gather.
+    names = balancer.dispatch_names()
+    loads: Dict[Name, int] = {}
+    dispatched = first[first >= 0]
+    if len(dispatched):
+        counts = np.bincount(dispatched, minlength=len(names))
+        for ident, count in enumerate(counts.tolist()):
+            if count:
+                loads[names[ident]] = count
+
+    result = _finalize(trace, balancer, loads, violations, inevitable, wall)
+    _publish_metrics(metrics, balancer, result, path="columnar", n_events=n_events)
     return result

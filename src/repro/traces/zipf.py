@@ -19,17 +19,25 @@ import numpy as np
 
 from repro.hashing.mix import splitmix64
 from repro.traces.base import Trace
+from repro.traces.io import TraceWriter
 
 #: The skews of Fig. 6b / Fig. 7.
 PAPER_SKEWS = (0.6, 0.8, 1.0, 1.2, 1.4)
 
 
-def _unique_keys(count: int, seed: int) -> np.ndarray:
+def _unique_keys(count: int, seed: int, start: int = 0) -> np.ndarray:
     """Deterministic distinct 64-bit keys (splitmix64 stream is a bijection
-    of the counter, hence collision-free)."""
+    of the counter, hence collision-free).
+
+    ``start`` selects a window into the stream: ``_unique_keys(n, s)``
+    equals the concatenation of ``_unique_keys(c_i, s, start=o_i)`` over
+    any chunking -- what lets the streaming generator emit the same key
+    population piecewise.
+    """
     state = np.uint64(splitmix64(seed))
     # Vectorized splitmix64 over a counter range.
-    x = (np.arange(1, count + 1, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)) + state
+    counters = np.arange(start + 1, start + count + 1, dtype=np.uint64)
+    x = (counters * np.uint64(0x9E3779B97F4A7C15)) + state
     x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
     x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
     return x ^ (x >> np.uint64(31))
@@ -66,3 +74,52 @@ def zipf_trace(
         flow_keys=keys,
         packets=packets.astype(np.int64),
     )
+
+
+def zipf_trace_stream(
+    path,
+    skew: float,
+    n_packets: int,
+    population: int,
+    seed: int = 0,
+    chunk: int = 1 << 20,
+):
+    """Generate a Zipf trace of arbitrary size straight to disk.
+
+    Never holds more than one ``chunk`` of packets in memory, so traces
+    far larger than RAM can be produced; the output is an uncompressed
+    npz (via :class:`~repro.traces.io.TraceWriter`) ready for
+    ``load_trace(path, mmap=True)``.  Returns the final path.
+
+    Two deliberate differences from :func:`zipf_trace`: zero-packet flows
+    are *kept* (``n_flows == population`` -- compacting would need the
+    full draw history), and packets are drawn per block from a
+    precomputed CDF with a block-derived seed, so the trace is a
+    deterministic function of ``(skew, n_packets, population, seed,
+    chunk)``.  Zero-packet flows never dispatch, so replay metrics are
+    unaffected by keeping them.
+    """
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    if n_packets < 1 or population < 1:
+        raise ValueError("n_packets and population must be positive")
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    name = f"zipf-stream(skew={skew}, packets={n_packets})"
+    key_seed = splitmix64(seed ^ 0x51AF_E234)
+    with TraceWriter(path, name, n_flows=population, n_packets=n_packets) as writer:
+        for start in range(0, population, chunk):
+            count = min(chunk, population - start)
+            writer.write_flow_keys(_unique_keys(count, seed=key_seed, start=start))
+        for block, start in enumerate(range(0, n_packets, chunk)):
+            count = min(chunk, n_packets - start)
+            rng = np.random.default_rng(
+                splitmix64(seed ^ 0x21F0_AAAD ^ (block + 1)) & 0x7FFF_FFFF
+            )
+            draws = np.searchsorted(cdf, rng.random(count), side="left")
+            writer.write_packets(draws.astype(np.int64))
+    return writer._final

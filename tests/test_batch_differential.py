@@ -17,6 +17,7 @@ from repro.ch import (
     MaglevHash,
     ScalarTableHRW,
     has_batch_kernel,
+    has_index_kernel,
 )
 from repro.ch.properties import sample_keys
 from repro.core import (
@@ -350,6 +351,219 @@ class TestLBBatch:
         assert len(lb.get_destinations_batch(np.empty(0, dtype=np.uint64))) == 0
 
 
+IDX_FAMILIES = ["hrw", "table", "ring", "anchor", "maglev", "jump", "modulo"]
+LB_MODES = ["jet", "full-ct", "stateless"]
+
+
+def build_lb(family, mode):
+    """One of the 7 families wrapped in one of the 3 LB modes.
+
+    Maglev cannot be JET-composed (no horizon); callers skip that cell.
+    """
+    if family == "maglev":
+        if mode == "full-ct":
+            return make_full_ct("maglev", WORKING, table_size=251)
+        return StatelessLoadBalancer(MaglevHash(WORKING, table_size=251))
+    if mode == "jet":
+        return make_jet(family, WORKING, HORIZON, **_ch_kwargs(family))
+    if mode == "full-ct":
+        return make_full_ct(family, WORKING, HORIZON, **_ch_kwargs(family))
+    return StatelessLoadBalancer(build(family))
+
+
+def _ch_kwargs(family):
+    if family == "table":
+        return {"rows": 389}
+    if family == "anchor":
+        return {"capacity": 4 * (len(WORKING) + len(HORIZON))}
+    if family in ("ring", "ring-incremental"):
+        return {"virtual_nodes": 20}
+    return {}
+
+
+def _tracked(lb):
+    return lb.tracked_items() if hasattr(lb, "tracked_items") else None
+
+
+def _decode_idx_run(lb, keys):
+    """Dispatch through the integer path and decode at the edge."""
+    ids = lb.get_destinations_batch_idx(keys)
+    assert ids.dtype == np.int32
+    names = lb.dispatch_names()
+    return [names[i] for i in ids.tolist()]
+
+
+class TestIndexKernels:
+    """CH layer: ``backend_table()[lookup_batch_idx(keys)]`` must equal
+    ``lookup_batch(keys)`` element for element, for every family."""
+
+    @pytest.mark.parametrize("family", IDX_FAMILIES)
+    def test_every_family_has_an_index_kernel(self, family):
+        ch = (MaglevHash(WORKING, table_size=251) if family == "maglev"
+              else build(family))
+        assert has_index_kernel(ch), family
+        # The loop-based reference transcription keeps the spec default.
+        assert not has_index_kernel(ScalarTableHRW(WORKING, HORIZON, rows=389))
+
+    @pytest.mark.parametrize("family", IDX_FAMILIES)
+    def test_idx_matches_names(self, family):
+        if family == "maglev":
+            ch = MaglevHash(WORKING, table_size=251)
+            idx = ch.lookup_batch_idx(KEYS[:600])
+            assert idx.dtype == np.int32
+            assert list(ch.backend_table()[idx]) == list(ch.lookup_batch(KEYS[:600]))
+            return
+        ch = build(family)
+        idx, unsafe_idx = ch.lookup_with_safety_batch_idx(KEYS[:600])
+        names, unsafe = ch.lookup_with_safety_batch(KEYS[:600])
+        assert idx.dtype == np.int32
+        assert list(ch.backend_table()[idx]) == list(names)
+        assert unsafe_idx.tolist() == unsafe.tolist()
+        # lookup_batch_idx is the destination column of the same kernel.
+        assert ch.lookup_batch_idx(KEYS[:600]).tolist() == idx.tolist()
+
+    @pytest.mark.parametrize("family", IDX_FAMILIES)
+    def test_idx_matches_names_after_churn(self, family):
+        if family == "maglev":
+            ch = MaglevHash(WORKING, table_size=251)
+            ch.remove(WORKING[0])
+            ch.add("fresh")
+            idx = ch.lookup_batch_idx(KEYS[:400])
+            assert list(ch.backend_table()[idx]) == list(ch.lookup_batch(KEYS[:400]))
+            return
+        ch = build(family)
+        victim = WORKING[-1]
+        admit = victim if family == "jump" else HORIZON[0]
+        ch.remove_working(victim)
+        idx, unsafe_idx = ch.lookup_with_safety_batch_idx(KEYS[:400])
+        names, unsafe = ch.lookup_with_safety_batch(KEYS[:400])
+        assert list(ch.backend_table()[idx]) == list(names)
+        assert unsafe_idx.tolist() == unsafe.tolist()
+        ch.add_working(admit)
+        idx, _ = ch.lookup_with_safety_batch_idx(KEYS[:400])
+        assert list(ch.backend_table()[idx]) == list(ch.lookup_batch(KEYS[:400]))
+
+    @pytest.mark.parametrize("family", IDX_FAMILIES)
+    def test_backend_table_identity_contract(self, family):
+        # Identity is the columnar translation-cache key: the table must
+        # stay the same object while the backend is unchanged, and a
+        # published table must never be mutated in place -- a position
+        # remap requires a NEW array object (W <-> H moves that keep the
+        # position->name mapping intact may keep the same table).
+        ch = (MaglevHash(WORKING, table_size=251) if family == "maglev"
+              else build(family))
+        ch.lookup_batch_idx(KEYS[:16])
+        table = ch.backend_table()
+        snapshot = table.copy()
+        ch.lookup_batch_idx(KEYS[16:64])
+        assert ch.backend_table() is table
+        admitted = "brand-new"
+        if family == "maglev":
+            ch.remove(WORKING[0])
+            ch.add(admitted)
+        elif family == "jump":
+            # Jump's membership is an ordered stack: the retired server is
+            # the only admissible one, so churn without a new identity.
+            admitted = WORKING[-1]
+            ch.remove_working(admitted)
+            ch.add_working(admitted)
+        else:
+            ch.remove_working(WORKING[-1])
+            ch.add_horizon(admitted)
+            ch.add_working(admitted)
+        ch.lookup_batch_idx(KEYS[:64])
+        fresh = ch.backend_table()
+        if fresh is table:
+            assert (fresh == snapshot).all(), "published table mutated in place"
+        else:
+            assert admitted in fresh.tolist()
+
+    @pytest.mark.parametrize("family", IDX_FAMILIES)
+    def test_empty_batch(self, family):
+        ch = (MaglevHash(WORKING, table_size=251) if family == "maglev"
+              else build(family))
+        out = ch.lookup_batch_idx(np.empty(0, dtype=np.uint64))
+        assert out.dtype == np.int32 and len(out) == 0
+
+
+class TestColumnarLB:
+    """LB layer: index dispatch == name dispatch == scalar dispatch --
+    destinations AND post-run CT contents -- for 7 families x 3 modes."""
+
+    @pytest.mark.parametrize("family", IDX_FAMILIES)
+    @pytest.mark.parametrize("mode", LB_MODES)
+    def test_idx_name_scalar_agree(self, family, mode):
+        if family == "maglev" and mode == "jet":
+            pytest.skip("Maglev has no horizon: no JET composition")
+        idx_lb, name_lb, scalar_lb = (build_lb(family, mode) for _ in range(3))
+        keys = KEYS[:800]
+        got_idx = _decode_idx_run(idx_lb, keys)
+        got_name = list(name_lb.get_destinations_batch(keys))
+        got_scalar = [scalar_lb.get_destination(int(k)) for k in keys.tolist()]
+        assert got_idx == got_name == got_scalar
+        # The CT (where one exists) must hold identical name mappings no
+        # matter which representation the run used internally.
+        assert _tracked(idx_lb) == _tracked(name_lb) == _tracked(scalar_lb)
+        # Second pass re-reads the CT entries the first one wrote.
+        assert _decode_idx_run(idx_lb, keys) == got_scalar
+
+    @pytest.mark.parametrize("family", [f for f in IDX_FAMILIES if f != "maglev"])
+    @pytest.mark.parametrize("mode", LB_MODES)
+    def test_idx_path_survives_churn(self, family, mode):
+        idx_lb, scalar_lb = build_lb(family, mode), build_lb(family, mode)
+        keys = KEYS[:500]
+        assert _decode_idx_run(idx_lb, keys) == [
+            scalar_lb.get_destination(int(k)) for k in keys.tolist()
+        ]
+        victim = WORKING[-1]  # Jump retires in LIFO order
+        admit = victim if family == "jump" else HORIZON[0]
+        for lb in (idx_lb, scalar_lb):
+            lb.remove_working_server(victim)
+            lb.add_working_server(admit)
+        assert _decode_idx_run(idx_lb, keys) == [
+            scalar_lb.get_destination(int(k)) for k in keys.tolist()
+        ]
+        assert _tracked(idx_lb) == _tracked(scalar_lb)
+
+    def test_mixed_mode_single_balancer(self):
+        # One balancer serving scalar, name-batch, and index-batch calls
+        # interleaved must stay consistent with a scalar-only twin.
+        mixed, twin = build_lb("table", "jet"), build_lb("table", "jet")
+        k1, k2, k3 = KEYS[:200], KEYS[200:400], KEYS[100:300]
+        assert list(mixed.get_destinations_batch(k1)) == [
+            twin.get_destination(int(k)) for k in k1.tolist()
+        ]
+        assert _decode_idx_run(mixed, k2) == [
+            twin.get_destination(int(k)) for k in k2.tolist()
+        ]
+        assert [mixed.get_destination(int(k)) for k in k3.tolist()] == [
+            twin.get_destination(int(k)) for k in k3.tolist()
+        ]
+        assert _tracked(mixed) == _tracked(twin)
+
+    @pytest.mark.parametrize("mode", LB_MODES)
+    def test_columnar_effective_probes(self, mode):
+        assert build_lb("table", mode).columnar_effective
+        # Stacks without an index kernel must report not-effective ...
+        scalar_ch = ScalarTableHRW(WORKING, HORIZON, rows=389)
+        if mode == "jet":
+            assert not JETLoadBalancer(scalar_ch).columnar_effective
+            # ... as must CT configs the columnar path cannot serve.
+            assert not make_jet(
+                "hrw", WORKING, HORIZON, ct=LRUCT(capacity=32)
+            ).columnar_effective
+            assert not JETLoadBalancer(
+                build("hrw"), UnboundedCT(), active_cleanup=False
+            ).columnar_effective
+        elif mode == "stateless":
+            assert not StatelessLoadBalancer(scalar_ch).columnar_effective
+
+    def test_idx_empty_batch(self):
+        lb = build_lb("hrw", "jet")
+        out = lb.get_destinations_batch_idx(np.empty(0, dtype=np.uint64))
+        assert out.dtype == np.int32 and len(out) == 0
+
+
 class TestNeverSlowerRouting:
     """Capability probes: stacks without vector kernels must route
     straight through the scalar loop, never through batch assembly."""
@@ -513,12 +727,20 @@ class TestEngineCoalescing:
         )
         batch_sizes = []
         original = balancer.get_destinations_batch
+        original_idx = balancer.get_destinations_batch_idx
 
         def spy(keys):
             batch_sizes.append(len(keys))
             return original(keys)
 
+        def spy_idx(keys):
+            # The engine prefers the columnar entry point when the LB
+            # offers one; both count as batched dispatch.
+            batch_sizes.append(len(keys))
+            return original_idx(keys)
+
         balancer.get_destinations_batch = spy
+        balancer.get_destinations_batch_idx = spy_idx
         return sim.run(), batch_sizes
 
     def test_coalesced_run_matches_scalar_run(self):

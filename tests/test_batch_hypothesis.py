@@ -96,6 +96,70 @@ class TestBatchEqualsScalarEverywhere:
         assert_batch_equals_scalar(ch, [key])
 
 
+class TestIndexKernelProperties:
+    """The integer twin under the same randomization: for every family,
+    ``backend_table()[lookup_batch_idx(keys)]`` must equal
+    ``lookup_batch(keys)`` (and the safety masks must agree) under random
+    membership, random key batches, and churn."""
+
+    @staticmethod
+    def _assert_idx_equals_names(ch, key_sample):
+        keys = np.array(key_sample, dtype=np.uint64)
+        idx, unsafe_idx = ch.lookup_with_safety_batch_idx(keys)
+        names, unsafe = ch.lookup_with_safety_batch(keys)
+        assert idx.dtype == np.int32
+        table = ch.backend_table()
+        assert list(table[idx]) == list(names)
+        assert unsafe_idx.tolist() == unsafe.tolist()
+        assert ch.lookup_batch_idx(keys).tolist() == idx.tolist()
+
+    @given(
+        family=st.sampled_from(ALL_FAMILIES),
+        n_working=st.integers(min_value=1, max_value=10),
+        n_horizon=st.integers(min_value=0, max_value=4),
+        key_sample=st.lists(keys64, min_size=0, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fresh_instance(self, family, n_working, n_horizon, key_sample):
+        working = [f"w{i}" for i in range(n_working)]
+        horizon = [f"h{i}" for i in range(n_horizon)]
+        self._assert_idx_equals_names(build(family, working, horizon), key_sample)
+
+    @given(
+        family=st.sampled_from(ALL_FAMILIES),
+        n_working=st.integers(min_value=2, max_value=10),
+        n_horizon=st.integers(min_value=1, max_value=4),
+        key_sample=st.lists(keys64, min_size=0, max_size=30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_after_churn(self, family, n_working, n_horizon, key_sample):
+        working = [f"w{i}" for i in range(n_working)]
+        horizon = [f"h{i}" for i in range(n_horizon)]
+        ch = build(family, working, horizon)
+        victim = working[-1]
+        admit = victim if family == "jump" else horizon[0]
+        ch.remove_working(victim)
+        self._assert_idx_equals_names(ch, key_sample)
+        ch.add_working(admit)
+        self._assert_idx_equals_names(ch, key_sample)
+
+    @given(
+        n_working=st.integers(min_value=1, max_value=10),
+        key_sample=st.lists(keys64, min_size=0, max_size=40),
+        churn=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_maglev_idx_equals_names(self, n_working, key_sample, churn):
+        ch = MaglevHash([f"w{i}" for i in range(n_working)], table_size=251)
+        if churn:
+            ch.add("fresh")
+            ch.remove("w0")
+        keys = np.array(key_sample, dtype=np.uint64)
+        idx = ch.lookup_batch_idx(keys)
+        assert idx.dtype == np.int32
+        assert list(ch.backend_table()[idx]) == [ch.lookup(k) for k in key_sample]
+
+
 class TestMaglevBatchProperties:
     """Maglev has no safety variant; hold lookup_batch to the lookup loop."""
 

@@ -42,15 +42,24 @@ def _builders():
 
 
 def _fingerprint(balancer, result):
-    """Everything a run decided: per-flow loads, accounting, CT contents."""
+    """Everything a run decided: per-flow loads, accounting, CT contents.
+
+    CT contents go through ``tracked_items`` where available: it decodes
+    the columnar path's integer-index storage back to names, so scalar,
+    name-batch, and index-batch runs fingerprint identically.
+    """
     ct = getattr(balancer, "ct", None)
+    if hasattr(balancer, "tracked_items"):
+        ct_entries = balancer.tracked_items()
+    else:
+        ct_entries = dict(ct.items()) if ct is not None else None
     return {
         "server_loads": result.server_loads,
         "pcc_violations": result.pcc_violations,
         "inevitably_broken": result.inevitably_broken,
         "tracked_connections": result.tracked_connections,
         "ct_peak_size": result.ct_peak_size,
-        "ct_entries": dict(ct.items()) if ct is not None else None,
+        "ct_entries": ct_entries,
     }
 
 

@@ -1,0 +1,189 @@
+"""The columnar replay loop: integer-index dispatch end to end.
+
+Three contracts:
+
+1. **Metric equivalence** -- for every (family, LB mode) combination whose
+   ``columnar_effective`` probe answers True, ``replay_batch`` (which takes
+   the columnar loop) must reproduce the scalar ``replay`` metrics exactly,
+   with and without injected churn events.
+2. **Zero objects on the hot path** -- once warmed, a churn-free columnar
+   replay allocates no object-dtype arrays anywhere except the single
+   name-resolution call at the result edge (asserted by instrumenting the
+   numpy allocators).
+3. **Bigger-than-RAM traces** -- a chunk-streamed trace at least twice a
+   stated RAM-equivalent budget, loaded via memmap, replays with metrics
+   identical to an in-memory load of the same file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StatelessLoadBalancer, make_ch, make_full_ct, make_jet
+from repro.obs import Registry, metrics as M
+from repro.traces import load_trace, replay, replay_batch, zipf_trace, zipf_trace_stream
+
+WORKING = [f"s{i}" for i in range(16)]
+HORIZON = [f"h{i}" for i in range(4)]
+
+TRACE = zipf_trace(skew=1.0, n_packets=15_000, population=3_000, seed=21)
+
+IDX_FAMILIES = ["hrw", "table", "ring", "anchor", "maglev", "jump", "modulo"]
+LB_MODES = ["jet", "full-ct", "stateless"]
+
+
+def _ch_kwargs(family):
+    if family == "table":
+        return {"rows": 389}
+    if family == "anchor":
+        return {"capacity": 4 * (len(WORKING) + len(HORIZON))}
+    if family == "ring":
+        return {"virtual_nodes": 20}
+    if family == "maglev":
+        return {"table_size": 251}
+    return {}
+
+
+def build_lb(family, mode):
+    if family == "maglev":
+        if mode == "full-ct":
+            return make_full_ct("maglev", WORKING, table_size=251)
+        return StatelessLoadBalancer(make_ch("maglev", WORKING, table_size=251))
+    kwargs = _ch_kwargs(family)
+    if mode == "jet":
+        return make_jet(family, WORKING, HORIZON, **kwargs)
+    if mode == "full-ct":
+        return make_full_ct(family, WORKING, HORIZON, **kwargs)
+    return StatelessLoadBalancer(make_ch(family, WORKING, HORIZON, **kwargs))
+
+
+def _fields(result):
+    return (
+        result.pcc_violations,
+        result.inevitably_broken,
+        result.tracked_connections,
+        result.max_oversubscription,
+        result.server_loads,
+        result.n_flows,
+        result.n_packets,
+    )
+
+
+class TestColumnarEquivalence:
+    @pytest.mark.parametrize("family", IDX_FAMILIES)
+    @pytest.mark.parametrize("mode", LB_MODES)
+    def test_matches_scalar(self, family, mode):
+        if family == "maglev" and mode == "jet":
+            pytest.skip("Maglev has no horizon: no JET composition")
+        columnar_lb = build_lb(family, mode)
+        assert columnar_lb.columnar_effective, (family, mode)
+        columnar = replay_batch(TRACE, columnar_lb)
+        scalar = replay(TRACE, build_lb(family, mode))
+        assert _fields(columnar) == _fields(scalar), (family, mode)
+
+    @pytest.mark.parametrize("family", ["hrw", "table", "anchor", "jump"])
+    @pytest.mark.parametrize("mode", ["jet", "full-ct"])
+    def test_matches_scalar_with_events(self, family, mode):
+        victim = WORKING[-1]  # Jump retires in LIFO order
+        admit = victim if family == "jump" else HORIZON[0]
+
+        def events():
+            return [
+                (4_000, lambda lb: lb.remove_working_server(victim)),
+                (10_000, lambda lb: lb.add_working_server(admit)),
+            ]
+
+        columnar = replay_batch(TRACE, build_lb(family, mode), events())
+        scalar = replay(TRACE, build_lb(family, mode), events())
+        assert _fields(columnar) == _fields(scalar), (family, mode)
+
+    def test_publishes_columnar_dispatch_path(self):
+        registry = Registry()
+        replay_batch(TRACE, build_lb("table", "jet"), metrics=registry)
+        registry.collect()
+        assert registry.value(M.DISPATCH_PACKETS, path="columnar") == TRACE.n_packets
+
+    def test_columnar_run_never_touches_name_batch(self):
+        lb = build_lb("table", "jet")
+
+        def forbidden(keys):
+            raise AssertionError("columnar replay fell back to the name batch path")
+
+        lb.get_destinations_batch = forbidden
+        result = replay_batch(TRACE, lb)
+        assert result.n_packets == TRACE.n_packets
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100_000])
+    def test_chunk_size_edges(self, chunk_size):
+        scalar = replay(TRACE, build_lb("table", "jet"))
+        columnar = replay_batch(TRACE, build_lb("table", "jet"), chunk_size=chunk_size)
+        assert _fields(columnar) == _fields(scalar)
+
+
+class TestZeroObjectHotPath:
+    #: numpy constructors this codebase builds object arrays with.
+    ALLOCATORS = ("empty", "zeros", "full", "array")
+
+    def test_no_object_arrays_outside_the_edge(self, monkeypatch):
+        lb = build_lb("table", "jet")
+        # Warm everything that legitimately allocates once: index-mode
+        # engagement, the backend-table translation, the CT mirror.
+        replay_batch(TRACE, lb)
+
+        in_edge = {"on": False}
+        stray = []
+        for name in self.ALLOCATORS:
+            original = getattr(np, name)
+
+            def wrapped(*args, _original=original, _name=name, **kwargs):
+                out = _original(*args, **kwargs)
+                if getattr(out, "dtype", None) == object and not in_edge["on"]:
+                    stray.append(_name)
+                return out
+
+            monkeypatch.setattr(np, name, wrapped)
+
+        edge = lb.dispatch_names
+
+        def flagged_edge():
+            in_edge["on"] = True
+            try:
+                return edge()
+            finally:
+                in_edge["on"] = False
+
+        monkeypatch.setattr(lb, "dispatch_names", flagged_edge)
+        result = replay_batch(TRACE, lb)
+        assert result.n_packets == TRACE.n_packets
+        assert stray == [], f"object arrays allocated on the hot path via {stray}"
+
+
+class TestBiggerThanRamTrace:
+    #: The RAM-equivalent budget this test simulates.  The streamed trace
+    #: below is >= 2x this size on disk; nothing in the mmap replay path
+    #: may materialize it wholesale (the in-memory twin load is the
+    #: explicitly-paid comparison point).
+    RAM_BUDGET_BYTES = 4 * 1024 * 1024
+
+    def test_mmap_replay_matches_in_memory_replay(self, tmp_path):
+        path = zipf_trace_stream(
+            tmp_path / "big", skew=1.0, n_packets=1_200_000, population=40_000,
+            seed=5, chunk=200_000,
+        )
+        assert path.stat().st_size >= 2 * self.RAM_BUDGET_BYTES
+        mapped = load_trace(path, mmap=True)
+        assert isinstance(mapped.packets, np.memmap)
+        in_memory = load_trace(path)
+        assert not isinstance(in_memory.packets, np.memmap)
+        from_map = replay_batch(mapped, build_lb("table", "jet"))
+        from_mem = replay_batch(in_memory, build_lb("table", "jet"))
+        assert _fields(from_map) == _fields(from_mem)
+
+    def test_streamed_trace_columnar_matches_scalar_at_small_scale(self, tmp_path):
+        path = zipf_trace_stream(
+            tmp_path / "small", skew=1.0, n_packets=30_000, population=6_000,
+            seed=5, chunk=7_000,
+        )
+        trace = load_trace(path, mmap=True)
+        scalar = replay(trace, build_lb("table", "jet"))
+        columnar = replay_batch(trace, build_lb("table", "jet"))
+        assert _fields(columnar) == _fields(scalar)
