@@ -159,7 +159,14 @@ def _simulate(args: argparse.Namespace) -> int:
         probe_loss_probability=args.probe_loss,
         rate_profile=rate_profile,
     )
-    result = run_simulation(config)
+    if args.workers == 1 and args.shards is None:
+        result = run_simulation(config)
+    else:
+        from repro.shard import simulate_sharded
+
+        result = simulate_sharded(
+            config, n_workers=args.workers, n_shards=args.shards
+        )
     print(result.summary())
     if registry is not None:
         _close_metrics(args, registry, exporter, t=args.duration)
@@ -181,7 +188,7 @@ def _trace(args: argparse.Namespace) -> int:
             trace = ny18_like(scale=args.trace_scale, seed=args.seed)
         print(trace.describe())
         if args.out:
-            save_trace(trace, args.out)
+            save_trace(trace, args.out, compressed=not args.uncompressed)
             print(f"saved to {args.out}")
         return 0
 
@@ -193,29 +200,33 @@ def _trace(args: argparse.Namespace) -> int:
         return 0
 
     # replay
-    from repro.core.factories import make_full_ct, make_jet
-    from repro.ch import rows_for
+    from repro.shard import BalancerSpec, replay_sharded
 
-    trace = load_trace(args.path)
-    working = [f"s{i}" for i in range(args.servers)]
-    horizon = [f"h{i}" for i in range(args.horizon)]
-    kwargs = {}
-    if args.family == "table":
-        kwargs["rows"] = rows_for(args.servers)
-    if args.family == "anchor":
-        kwargs["capacity"] = 2 * (args.servers + args.horizon)
-    if args.mode == "jet":
-        balancer = make_jet(args.family, working, horizon, **kwargs)
-    else:
-        if args.family == "maglev":
-            balancer = make_full_ct("maglev", working)
-        else:
-            balancer = make_full_ct(args.family, working, horizon, **kwargs)
+    spec = BalancerSpec.fleet(
+        mode=args.mode,
+        family=args.family,
+        n_servers=args.servers,
+        horizon_size=args.horizon,
+        seed=args.seed,
+    )
     registry, exporter = _open_metrics(args)
-    outcome = replay(trace, balancer, metrics=registry)
-    print(outcome.row())
+    with load_trace(args.path, mmap=args.mmap) as trace:
+        if args.workers == 1 and args.shards is None:
+            outcome = replay(trace, spec.build(0), metrics=registry)
+            print(outcome.row())
+            elapsed = outcome.wall_seconds
+        else:
+            sharded = replay_sharded(
+                trace,
+                spec,
+                n_workers=args.workers,
+                n_shards=args.shards,
+                metrics=registry,
+            )
+            print(sharded.row())
+            elapsed = sharded.end_to_end_seconds
     if registry is not None:
-        _close_metrics(args, registry, exporter, t=outcome.wall_seconds)
+        _close_metrics(args, registry, exporter, t=elapsed)
     return 0
 
 
@@ -275,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--ct-policy", choices=["lru", "fifo", "random", "ttl"], default="lru")
     sim.add_argument("--ct-ttl", type=float, default=None)
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--workers", type=int, default=1,
+                     help="worker processes; flows are sharded, the "
+                          "membership schedule replicates to every shard")
+    sim.add_argument("--shards", type=int, default=None,
+                     help="flow shards (default: --workers)")
     # Chaos knobs (repro.faults) -- all default off.
     sim.add_argument("--crash-rate", type=float, default=0.0,
                      help="chaos crashes per minute")
@@ -346,6 +362,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--trace-scale", type=float, default=0.05)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", default=None)
+    gen.add_argument("--uncompressed", action="store_true",
+                     help="write an uncompressed archive (memmap-loadable "
+                          "with replay --mmap)")
 
     info = trace_sub.add_parser("info")
     info.add_argument("path")
@@ -354,9 +373,19 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("path")
     rep.add_argument("--family", default="anchor",
                      choices=["hrw", "ring", "ring-incremental", "table", "anchor", "maglev"])
-    rep.add_argument("--mode", choices=["jet", "full"], default="jet")
+    rep.add_argument("--mode", choices=["jet", "full", "stateless"], default="jet")
     rep.add_argument("--servers", type=int, default=50)
     rep.add_argument("--horizon", type=int, default=5)
+    rep.add_argument("--seed", type=int, default=0,
+                     help="master seed; per-shard seeds derive from it")
+    rep.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the sharded dataplane")
+    rep.add_argument("--shards", type=int, default=None,
+                     help="keyspace shards (default: --workers); fixing it "
+                          "decouples the partition from the process count")
+    rep.add_argument("--mmap", action="store_true",
+                     help="memory-map the trace instead of loading it "
+                          "(uncompressed archives only)")
     _add_metrics_args(rep)
     trace.set_defaults(func=_trace)
 

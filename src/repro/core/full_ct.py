@@ -28,7 +28,7 @@ from repro.ch.base import (
 )
 from repro.core.indexing import BackendIndexer
 from repro.core.interfaces import LoadBalancer, Name
-from repro.ct.base import ConnectionTracker
+from repro.ct.base import ConnectionTracker, credit_repeat_hits as _credit_within_chunk_hits
 from repro.ct.unbounded import UnboundedCT
 
 
@@ -118,6 +118,7 @@ class FullCTLoadBalancer(LoadBalancer):
             found = self.ch.lookup_batch(miss_keys)
             destinations[miss] = found
             self.ct.put_batch(miss_keys, found)
+            _credit_within_chunk_hits(self.ct, miss_keys)
         return destinations
 
     # ------------------------------------------------- columnar dispatch
@@ -139,6 +140,7 @@ class FullCTLoadBalancer(LoadBalancer):
             found = self._indexer.translate(self.ch.backend_table())[ch_idx]
             ids[miss] = found
             self.ct.put_batch_idx(miss_keys, found)
+            _credit_within_chunk_hits(self.ct, miss_keys)
         return ids
 
     def dispatch_names(self) -> np.ndarray:

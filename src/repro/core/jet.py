@@ -27,7 +27,7 @@ import numpy as np
 from repro.ch.base import HorizonConsistentHash, has_batch_kernel, has_index_kernel
 from repro.core.indexing import BackendIndexer
 from repro.core.interfaces import LoadBalancer, Name
-from repro.ct.base import ConnectionTracker
+from repro.ct.base import ConnectionTracker, credit_repeat_hits as _credit_within_chunk_hits
 from repro.ct.unbounded import UnboundedCT
 
 
@@ -131,7 +131,9 @@ class JETLoadBalancer(LoadBalancer):
             found, unsafe = self.ch.lookup_with_safety_batch(miss_keys)
             destinations[miss] = found
             if unsafe.any():
-                self.ct.put_batch(miss_keys[unsafe], found[unsafe])
+                unsafe_keys = miss_keys[unsafe]
+                self.ct.put_batch(unsafe_keys, found[unsafe])
+                _credit_within_chunk_hits(self.ct, unsafe_keys)
         return destinations
 
     # ------------------------------------------------- columnar dispatch
@@ -159,7 +161,9 @@ class JETLoadBalancer(LoadBalancer):
             found = self._indexer.translate(self.ch.backend_table())[ch_idx]
             ids[miss] = found
             if unsafe.any():
-                self.ct.put_batch_idx(miss_keys[unsafe], found[unsafe])
+                unsafe_keys = miss_keys[unsafe]
+                self.ct.put_batch_idx(unsafe_keys, found[unsafe])
+                _credit_within_chunk_hits(self.ct, unsafe_keys)
         return ids
 
     def dispatch_names(self) -> np.ndarray:

@@ -43,6 +43,7 @@ from repro.obs.invariants import (
     default_monitors,
     evaluate_and_export,
 )
+from repro.obs.merge import GAUGE_SUM, load_series, merge_into, merge_series
 from repro.obs.registry import (
     NULL,
     Counter,
@@ -83,6 +84,10 @@ __all__ = [
     "NullRegistry",
     "Registry",
     "coalesce",
+    "GAUGE_SUM",
+    "merge_series",
+    "merge_into",
+    "load_series",
     "Stopwatch",
     "best_of",
 ]

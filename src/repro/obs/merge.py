@@ -1,0 +1,142 @@
+"""Merge per-shard registry dumps into one observability snapshot.
+
+Each shard worker runs with its own private
+:class:`~repro.obs.registry.Registry` (registries hold collector
+closures over live balancers and cannot cross a process boundary); what
+crosses is ``Registry.dump_series()`` -- plain dicts.  This module folds
+those dumps into a single consistent snapshot at the result edge, so the
+invariant monitors evaluate over *merged* counters exactly as they would
+over a single-process run:
+
+- **counters** sum: shards partition the flow keyspace, so their CT
+  lookups/hits/inserts, flow tallies, and violation counts are disjoint
+  contributions to the same totals;
+- **histograms** sum bucket-wise (bounds must agree);
+- **gauges** follow a per-metric rule: extensive state (CT occupancy,
+  its peak, capacity) sums across shards, while intensive values
+  (expected tracked fraction -- identical in every shard, which shares
+  the full membership replica) take the max, which is the shared value;
+- **derived gauges** are recomputed from the merged counters rather than
+  merged themselves: the observed tracked fraction must be
+  ``sum(tracked) / sum(flows)``, not any combination of per-shard ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs import collectors as metrics
+
+#: Gauges whose value is extensive (per-shard state that adds up).
+GAUGE_SUM = frozenset(
+    {
+        metrics.CT_OCCUPANCY,
+        metrics.CT_OCCUPANCY_PEAK,
+        metrics.CT_CAPACITY,
+        metrics.GOSSIP_STALENESS,
+    }
+)
+
+#: Gauges recomputed from merged counters; per-shard values are dropped.
+_DERIVED = frozenset({metrics.OBSERVED_TRACKED_FRACTION})
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(entry: Dict[str, object]) -> _Key:
+    labels = entry.get("labels") or {}
+    return str(entry["name"]), tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def merge_series(dumps: Iterable[Sequence[Dict[str, object]]]) -> List[Dict[str, object]]:
+    """Combine several ``dump_series`` payloads kind-aware into one."""
+    merged: Dict[_Key, Dict[str, object]] = {}
+    order: List[_Key] = []
+    for dump in dumps:
+        for entry in dump:
+            name = str(entry["name"])
+            key = _key(entry)
+            existing = merged.get(key)
+            if existing is None:
+                copied = dict(entry)
+                if "bucket_counts" in copied:
+                    copied["bucket_counts"] = list(copied["bucket_counts"])
+                merged[key] = copied
+                order.append(key)
+                continue
+            if existing["kind"] != entry["kind"]:
+                raise ValueError(
+                    f"metric {name!r} merged as both {existing['kind']} "
+                    f"and {entry['kind']}"
+                )
+            kind = entry["kind"]
+            if kind == "counter":
+                existing["value"] += entry["value"]
+            elif kind == "gauge":
+                if name in GAUGE_SUM:
+                    existing["value"] += entry["value"]
+                else:
+                    existing["value"] = max(existing["value"], entry["value"])
+            elif kind == "histogram":
+                if list(existing["bounds"]) != list(entry["bounds"]):
+                    raise ValueError(f"histogram {name!r} bucket bounds differ")
+                existing["bucket_counts"] = [
+                    a + b
+                    for a, b in zip(existing["bucket_counts"], entry["bucket_counts"])
+                ]
+                existing["sum"] += entry["sum"]
+                existing["count"] += entry["count"]
+            else:
+                raise ValueError(f"unknown series kind {kind!r} for {name!r}")
+    out = [merged[key] for key in order]
+    _recompute_derived(out)
+    return out
+
+
+def _recompute_derived(entries: List[Dict[str, object]]) -> None:
+    """Rewrite ratio gauges from the merged counters they derive from."""
+    by_name: Dict[str, Dict[str, object]] = {}
+    for entry in entries:
+        if not entry.get("labels"):
+            by_name.setdefault(str(entry["name"]), entry)
+    flows = by_name.get(metrics.FLOWS)
+    tracked = by_name.get(metrics.TRACKED_FLOWS)
+    observed = by_name.get(metrics.OBSERVED_TRACKED_FRACTION)
+    if observed is not None and flows is not None and flows["value"]:
+        observed["value"] = (tracked["value"] if tracked else 0) / flows["value"]
+
+
+def load_series(registry, entries: Sequence[Dict[str, object]]) -> None:
+    """Fold merged entries into a live registry (additively).
+
+    Counters increment by the merged totals, gauges are set, histograms
+    accumulate bucket-wise -- so loading into a fresh registry reproduces
+    the merged snapshot exactly, and loading into a registry that already
+    carries series composes.
+    """
+    for entry in entries:
+        name = str(entry["name"])
+        kind = entry["kind"]
+        help_text = str(entry.get("help", ""))
+        labels = dict(entry.get("labels") or {})
+        if kind == "counter":
+            registry.counter(name, help_text, **labels).inc(entry["value"])
+        elif kind == "gauge":
+            registry.gauge(name, help_text, **labels).set(entry["value"])
+        elif kind == "histogram":
+            bounds = tuple(entry["bounds"])
+            histogram = registry.histogram(name, help_text, buckets=bounds, **labels)
+            if tuple(histogram.bounds) != bounds:
+                raise ValueError(f"histogram {name!r} bucket bounds differ")
+            histogram.bucket_counts = [
+                a + b for a, b in zip(histogram.bucket_counts, entry["bucket_counts"])
+            ]
+            histogram.total += entry["sum"]
+            histogram.count += entry["count"]
+        else:
+            raise ValueError(f"unknown series kind {kind!r} for {name!r}")
+
+
+def merge_into(registry, dumps: Iterable[Sequence[Dict[str, object]]]) -> None:
+    """One-call convenience: merge shard dumps and load them into a registry."""
+    load_series(registry, merge_series(dumps))

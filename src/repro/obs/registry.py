@@ -283,6 +283,34 @@ class Registry:
                 out[rendered] = instrument.value
         return out
 
+    def dump_series(self, collect: bool = True) -> List[Dict[str, object]]:
+        """Every series as plain picklable dicts, for cross-process merging.
+
+        Unlike :meth:`snapshot` (rendered names, cumulative buckets), this
+        keeps name/labels/kind structured and histograms raw, so
+        :mod:`repro.obs.merge` can combine dumps from shard workers
+        kind-aware and load them into a parent registry losslessly.
+        """
+        if collect:
+            self.collect()
+        out: List[Dict[str, object]] = []
+        for (name, key_labels), instrument in self._series.items():
+            entry: Dict[str, object] = {
+                "name": name,
+                "kind": self._kinds[name],
+                "help": self._help.get(name, ""),
+                "labels": dict(key_labels),
+            }
+            if isinstance(instrument, Histogram):
+                entry["bounds"] = list(instrument.bounds)
+                entry["bucket_counts"] = list(instrument.bucket_counts)
+                entry["sum"] = instrument.total
+                entry["count"] = instrument.count
+            else:
+                entry["value"] = instrument.value
+            out.append(entry)
+        return out
+
 
 class _NullInstrument:
     """Shared do-nothing counter/gauge/histogram/timer."""
@@ -368,6 +396,9 @@ class NullRegistry:
 
     def snapshot(self) -> Dict[str, object]:
         return {}
+
+    def dump_series(self, collect: bool = True) -> List[Dict[str, object]]:
+        return []
 
 
 #: The process-wide disabled registry; use instead of allocating one.

@@ -1,0 +1,281 @@
+"""Partition/merge drivers: sharded replay and sharded simulation.
+
+``replay_sharded`` is the multi-worker twin of
+:func:`repro.traces.replay.replay_batch`: an RSS front stage partitions
+the flow keyspace into ``n_shards`` (:mod:`repro.shard.partition`), each
+shard replays its packet subsequence through its own balancer built from
+a :class:`~repro.shard.spec.BalancerSpec`, membership events fan out to
+every shard, and the per-shard results/registries merge at the edge
+(:func:`repro.traces.replay.merge_replay_results`,
+:mod:`repro.obs.merge`).
+
+Process model: ``fork`` (the plan, trace columns, and factory are
+inherited by workers as copy-on-write pages -- a memmapped trace costs
+nothing per worker; only the picklable :class:`ShardOutcome` crosses
+back).  Shard ``s`` runs on worker ``s % n_workers``; because every
+shard's seeds and inputs are pure functions of the shard id, the merged
+result is byte-identical for any worker count (timing fields aside) --
+``n_workers=1`` runs the same shards serially in-process, which is also
+the fallback where ``fork`` does not exist.
+
+``simulate_sharded`` applies the same partition/merge shape to the
+event-driven simulator: shard workloads are independent splitmix64
+streams over ``1/N`` of the arrival rate, while the membership schedule
+(engine seed) is replicated identically in every shard -- the
+deterministic fan-out of control-plane events.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.interfaces import LoadBalancer
+from repro.obs.registry import coalesce
+from repro.obs.timers import Stopwatch
+from repro.shard.partition import shard_seed
+from repro.shard.plan import ShardPlan
+from repro.shard.spec import BalancerSpec
+from repro.shard.worker import ShardOutcome, run_shard
+from repro.traces.base import Trace
+from repro.traces.replay import DEFAULT_CHUNK, ReplayResult, merge_replay_results
+
+#: A spec or any picklable/fork-inheritable ``shard_id -> balancer``.
+Factory = Union[BalancerSpec, Callable[[int], LoadBalancer]]
+
+
+@dataclass
+class ShardedReplay:
+    """A merged replay result plus the per-shard evidence behind it."""
+
+    #: Merged as-if-unsharded result; ``rate_pps``/``wall_seconds`` follow
+    #: the parallel critical path (slowest shard's kernel wall).
+    result: ReplayResult
+    outcomes: List[ShardOutcome]
+    n_shards: int
+    n_workers: int
+    #: Wall clock of the whole driver: partition + replay + merge.
+    end_to_end_seconds: float
+
+    def row(self) -> str:
+        return (
+            f"{self.result.row()} "
+            f"[shards={self.n_shards} workers={self.n_workers} "
+            f"wall={self.end_to_end_seconds:.3f}s]"
+        )
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def replay_sharded(
+    trace: Trace,
+    spec: Factory,
+    n_workers: int = 1,
+    n_shards: Optional[int] = None,
+    events: Sequence = (),
+    chunk_size: int = DEFAULT_CHUNK,
+    metrics=None,
+    collect_tracked: bool = False,
+) -> ShardedReplay:
+    """Replay ``trace`` partitioned over shards, merging at the edge.
+
+    ``n_shards`` defaults to ``n_workers``; fixing it higher decouples the
+    partition from the process count (RSS indirection style), in which
+    case the merged result is invariant to ``n_workers`` entirely.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    n_shards = n_workers if n_shards is None else n_shards
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    factory = spec.build if isinstance(spec, BalancerSpec) else spec
+    registry = coalesce(metrics)
+    want_metrics = registry.enabled
+
+    watch = Stopwatch()
+    plan = ShardPlan.partition(trace, n_shards)
+    if n_workers == 1 or n_shards == 1 or not _fork_available():
+        outcomes = [
+            run_shard(
+                plan, factory, shard,
+                events=events, chunk_size=chunk_size,
+                want_metrics=want_metrics, collect_tracked=collect_tracked,
+            )
+            for shard in range(n_shards)
+        ]
+    else:
+        outcomes = _run_forked(
+            plan, factory, n_shards, min(n_workers, n_shards),
+            events=events, chunk_size=chunk_size,
+            want_metrics=want_metrics, collect_tracked=collect_tracked,
+        )
+    merged = merge_replay_results([outcome.result for outcome in outcomes])
+    if want_metrics:
+        from repro.obs.merge import merge_into
+
+        merge_into(registry, [outcome.obs_series for outcome in outcomes])
+    end_to_end = watch.stop()
+    return ShardedReplay(
+        result=merged,
+        outcomes=outcomes,
+        n_shards=n_shards,
+        n_workers=n_workers,
+        end_to_end_seconds=end_to_end,
+    )
+
+
+def _run_forked(
+    plan: ShardPlan,
+    factory: Callable[[int], LoadBalancer],
+    n_shards: int,
+    n_workers: int,
+    events: Sequence,
+    chunk_size: int,
+    want_metrics: bool,
+    collect_tracked: bool,
+) -> List[ShardOutcome]:
+    """Fan shards out over forked workers; shard ``s`` -> worker ``s % N``."""
+    context = multiprocessing.get_context("fork")
+    queue = context.SimpleQueue()
+
+    def work(worker_id: int) -> None:
+        try:
+            for shard in range(worker_id, n_shards, n_workers):
+                outcome = run_shard(
+                    plan, factory, shard,
+                    events=events, chunk_size=chunk_size,
+                    want_metrics=want_metrics, collect_tracked=collect_tracked,
+                )
+                queue.put((shard, outcome, None))
+        except BaseException:
+            queue.put((-1, None, traceback.format_exc()))
+
+    processes = [
+        context.Process(target=work, args=(worker_id,), daemon=True)
+        for worker_id in range(n_workers)
+    ]
+    for process in processes:
+        process.start()
+    outcomes: List[Optional[ShardOutcome]] = [None] * n_shards
+    received = 0
+    failure: Optional[str] = None
+    while received < n_shards:
+        shard, outcome, error = queue.get()
+        if error is not None:
+            failure = error
+            break
+        outcomes[shard] = outcome
+        received += 1
+    for process in processes:
+        if failure is not None:
+            process.terminate()
+        process.join()
+    if failure is not None:
+        raise RuntimeError(f"shard worker failed:\n{failure}")
+    return outcomes  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------- simulate
+def simulate_sharded(config, n_workers: int = 1, n_shards: Optional[int] = None):
+    """Run the event-driven simulation partitioned over flow shards.
+
+    Each shard simulates ``1/n_shards`` of the arrival rate with its own
+    splitmix64-derived workload seed, against a full replica of the
+    membership state machine: the engine's seed (removals, downtimes,
+    control-plane randomness) stays the *master* seed in every shard, so
+    backend events fan out deterministically and identically -- shards
+    differ only in the flows they carry, mirroring the replay partition.
+
+    Returns the merged :class:`~repro.sim.metrics.SimResult`; per-shard
+    registries merge into ``config.registry`` when one is set.
+    """
+    from repro.sim.metrics import merge_sim_results
+
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    n_shards = n_workers if n_shards is None else n_shards
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    registry = coalesce(config.registry)
+    want_metrics = registry.enabled
+
+    base_arrival = config.arrival_rate
+    shard_configs = []
+    for shard in range(n_shards):
+        changes = {
+            "registry": None,
+            "workload_seed": shard_seed(config.seed, shard),
+            "connection_rate": config.connection_rate / n_shards,
+        }
+        if base_arrival is not None:
+            changes["arrival_rate"] = base_arrival / n_shards
+        shard_configs.append(config.with_(**changes))
+
+    if n_workers == 1 or n_shards == 1 or not _fork_available():
+        payloads = [
+            _run_sim_shard(shard_configs[shard], want_metrics)
+            for shard in range(n_shards)
+        ]
+    else:
+        payloads = _run_sim_forked(shard_configs, min(n_workers, n_shards), want_metrics)
+    results = [result for result, _ in payloads]
+    if want_metrics:
+        from repro.obs.merge import merge_into
+
+        merge_into(registry, [dump for _, dump in payloads])
+    return merge_sim_results(results)
+
+
+def _run_sim_shard(shard_config, want_metrics: bool):
+    from repro.sim.scenario import run_simulation
+
+    if want_metrics:
+        from repro.obs.registry import Registry
+
+        shard_registry = Registry()
+        result = run_simulation(shard_config.with_(registry=shard_registry))
+        return result, shard_registry.dump_series()
+    return run_simulation(shard_config), []
+
+
+def _run_sim_forked(shard_configs, n_workers: int, want_metrics: bool):
+    context = multiprocessing.get_context("fork")
+    queue = context.SimpleQueue()
+    n_shards = len(shard_configs)
+
+    def work(worker_id: int) -> None:
+        try:
+            for shard in range(worker_id, n_shards, n_workers):
+                queue.put(
+                    (shard, _run_sim_shard(shard_configs[shard], want_metrics), None)
+                )
+        except BaseException:
+            queue.put((-1, None, traceback.format_exc()))
+
+    processes = [
+        context.Process(target=work, args=(worker_id,), daemon=True)
+        for worker_id in range(n_workers)
+    ]
+    for process in processes:
+        process.start()
+    payloads = [None] * n_shards
+    received = 0
+    failure: Optional[str] = None
+    while received < n_shards:
+        shard, payload, error = queue.get()
+        if error is not None:
+            failure = error
+            break
+        payloads[shard] = payload
+        received += 1
+    for process in processes:
+        if failure is not None:
+            process.terminate()
+        process.join()
+    if failure is not None:
+        raise RuntimeError(f"simulation shard worker failed:\n{failure}")
+    return payloads

@@ -1,0 +1,129 @@
+"""Declarative, picklable descriptions of balancers and membership events.
+
+A worker process cannot receive a live balancer (CTs, CH tables and
+their caches don't pickle, and sharing one across processes would defeat
+the whole point); it receives a :class:`BalancerSpec` and builds its own.
+``build(shard_id)`` derives every RNG seed through
+:func:`~repro.shard.partition.shard_seed`, so a shard's balancer is a
+pure function of (spec, shard id) -- identical whichever worker process
+builds it.
+
+:class:`MembershipEvent` is the picklable form of a control-plane
+backend change keyed by packet index; the sharded runner fans every
+event out to every shard's balancer (each shard owns a full replica of
+the membership state machine, only the flows are partitioned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.interfaces import LoadBalancer, Name
+from repro.shard.partition import shard_seed
+
+#: op name -> LoadBalancer method applied to the named server.
+_OPS = (
+    "add_working",
+    "remove_working",
+    "force_add_working",
+    "add_horizon",
+    "remove_horizon",
+)
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One backend change at a packet index, replicated to every shard."""
+
+    packet_index: int
+    op: str
+    name: Name
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown membership op {self.op!r}; one of {_OPS}")
+
+    def apply(self, balancer: LoadBalancer) -> None:
+        getattr(balancer, f"{self.op}_server")(self.name)
+
+
+@dataclass(frozen=True)
+class BalancerSpec:
+    """Everything needed to rebuild one balancer stack in any process."""
+
+    mode: str = "jet"  # jet | full | stateless
+    family: str = "table"
+    working: Tuple[Name, ...] = ()
+    horizon: Tuple[Name, ...] = ()
+    ct_capacity: Optional[int] = None
+    ct_policy: str = "lru"
+    #: Master seed; per-shard CT seeds derive from it via shard_seed.
+    seed: int = 0
+    #: CH constructor kwargs as sorted items (kept hashable/picklable).
+    ch_kwargs: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def fleet(
+        cls,
+        mode: str = "jet",
+        family: str = "table",
+        n_servers: int = 50,
+        horizon_size: int = 5,
+        ct_capacity: Optional[int] = None,
+        ct_policy: str = "lru",
+        seed: int = 0,
+        **ch_kwargs,
+    ) -> "BalancerSpec":
+        """The CLI's conventional fleet: servers ``s0..``, horizon ``h0..``.
+
+        Fills in the per-family constructor kwargs the CLI would (table
+        rows, anchor capacity); Maglev takes no horizon (paper Section 3.6).
+        """
+        if mode == "jet" and family == "maglev":
+            raise ValueError("maglev has no horizon; use mode='full' or 'stateless'")
+        working = tuple(f"s{i}" for i in range(n_servers))
+        horizon = (
+            () if family == "maglev" else tuple(f"h{i}" for i in range(horizon_size))
+        )
+        if family == "table" and "rows" not in ch_kwargs:
+            from repro.ch import rows_for
+
+            ch_kwargs["rows"] = rows_for(n_servers)
+        if family == "anchor" and "capacity" not in ch_kwargs:
+            ch_kwargs["capacity"] = 2 * (n_servers + horizon_size)
+        return cls(
+            mode=mode,
+            family=family,
+            working=working,
+            horizon=horizon,
+            ct_capacity=ct_capacity,
+            ct_policy=ct_policy,
+            seed=seed,
+            ch_kwargs=tuple(sorted(ch_kwargs.items())),
+        )
+
+    def build(self, shard_id: int = 0) -> LoadBalancer:
+        """Construct this balancer for one shard, seeds shard-derived."""
+        from repro.core.factories import make_ch, make_full_ct, make_jet
+        from repro.ct import make_ct
+
+        kwargs = dict(self.ch_kwargs)
+        if self.mode == "stateless":
+            from repro.core.stateless import StatelessLoadBalancer
+
+            return StatelessLoadBalancer(
+                make_ch(self.family, list(self.working), list(self.horizon), **kwargs)
+            )
+        ct = make_ct(
+            self.ct_capacity, self.ct_policy, seed=shard_seed(self.seed, shard_id)
+        )
+        if self.mode == "jet":
+            return make_jet(
+                self.family, list(self.working), list(self.horizon), ct=ct, **kwargs
+            )
+        if self.mode == "full":
+            return make_full_ct(
+                self.family, list(self.working), list(self.horizon), ct=ct, **kwargs
+            )
+        raise ValueError(f"unknown mode {self.mode!r}")

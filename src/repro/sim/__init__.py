@@ -13,7 +13,7 @@ from repro.sim.distributions import (
 )
 from repro.sim.engine import EventDrivenSimulation
 from repro.sim.backend import HorizonManager
-from repro.sim.metrics import LoadTracker, SimResult
+from repro.sim.metrics import LoadTracker, SimResult, merge_sim_results
 from repro.sim.scenario import (
     PAPER_HORIZON,
     PAPER_N_SERVERS,
@@ -38,6 +38,7 @@ __all__ = [
     "HorizonManager",
     "LoadTracker",
     "SimResult",
+    "merge_sim_results",
     "SimulationConfig",
     "run_simulation",
     "run_paired",

@@ -18,7 +18,7 @@ Tracks exactly what Section 5.1 reports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import Name
 
@@ -129,6 +129,129 @@ class SimResult:
                 f"horizon P/R={precision}/{recall}"
             )
         return text
+
+
+#: Flow- and event-level tallies that sum across keyspace shards.
+_SUM_FIELDS = (
+    "pcc_violations",
+    "inevitably_broken",
+    "flows_started",
+    "flows_completed",
+    "packets_processed",
+    "surprise_additions",
+    "peak_tracked",
+    "final_tracked",
+    "ct_evictions",
+    "ct_peak_size",
+    "churn_exposed_flows",
+    "fault_events",
+    "crashes",
+    "flaps",
+    "correlated_failures",
+    "unannounced_additions",
+    "predicted_unannounced_breakage",
+    "violations_under_fault",
+    "probation_readmissions",
+    "sync_failures",
+    "unreplicated_entries",
+    "blackholed_flows",
+    "undetected_blips",
+    "scale_outs",
+    "scale_ins",
+    "control_ticks",
+    "probes_sent",
+    "probe_evictions",
+    "probe_false_evictions",
+    "probe_readmissions",
+    "phantom_announcements",
+    "sync_staleness",
+)
+
+#: Fields where shards replicate one shared schedule (membership churn
+#: fans out identically to every shard) or that compose as a worst case.
+_MAX_FIELDS = (
+    "removals",
+    "additions",
+    "max_oversubscription",
+    "wall_seconds",
+)
+
+
+def _weighted_mean(
+    pairs: Sequence[Tuple[Optional[float], float]]
+) -> Optional[float]:
+    """Weight-averaged value over non-None entries (None if all None)."""
+    known = [(value, weight) for value, weight in pairs if value is not None]
+    if not known:
+        return None
+    total_weight = sum(weight for _, weight in known)
+    if total_weight <= 0:
+        return sum(value for value, _ in known) / len(known)
+    return sum(value * weight for value, weight in known) / total_weight
+
+
+def merge_sim_results(results: Sequence[SimResult]) -> SimResult:
+    """Fold per-shard simulation results into one fleet-level result.
+
+    Shards partition the *flows* of one simulated deployment while each
+    replicates the full membership state machine, so flow-level tallies
+    sum, membership-event counts take the per-shard maximum (the same
+    schedule fans out to every shard -- summing would multiply-count it),
+    and oversubscription reports the worst shard (each shard's sampler
+    sees only its own 1/N of the load; the fleet-level figure over the
+    union of flows is not recoverable from per-shard maxima, so the merge
+    keeps the conservative bound).  Ratio metrics are weighted means:
+    CT hit rate by packets, tracked fractions by flows started.
+
+    Associative and commutative in every field, so partial merges compose.
+    """
+    if not results:
+        raise ValueError("nothing to merge")
+    merged = SimResult()
+    for name in _SUM_FIELDS:
+        setattr(merged, name, sum(getattr(result, name) for result in results))
+    for name in _MAX_FIELDS:
+        setattr(merged, name, max(getattr(result, name) for result in results))
+    merged.ct_hit_rate = (
+        _weighted_mean(
+            [(r.ct_hit_rate, float(r.packets_processed)) for r in results]
+        )
+        or 0.0
+    )
+    merged.horizon_precision = _weighted_mean(
+        [(r.horizon_precision, float(max(r.additions, 1))) for r in results]
+    )
+    merged.horizon_recall = _weighted_mean(
+        [(r.horizon_recall, float(max(r.additions, 1))) for r in results]
+    )
+    merged.mean_expected_tracked_fraction = _weighted_mean(
+        [(r.mean_expected_tracked_fraction, float(r.flows_started)) for r in results]
+    )
+    merged.observed_tracked_fraction = _weighted_mean(
+        [(r.observed_tracked_fraction, float(r.flows_started)) for r in results]
+    )
+    # Sampled series: shards sample on one shared clock, so tracked
+    # occupancy sums element-wise and oversubscription takes the
+    # element-wise worst shard; lengths may differ by a tail sample.
+    longest = max(results, key=lambda result: len(result.sample_times))
+    merged.sample_times = list(longest.sample_times)
+    length = len(merged.sample_times)
+    merged.tracked_series = [
+        sum(r.tracked_series[i] for r in results if i < len(r.tracked_series))
+        for i in range(length)
+    ]
+    merged.oversubscription_series = [
+        max(
+            (
+                r.oversubscription_series[i]
+                for r in results
+                if i < len(r.oversubscription_series)
+            ),
+            default=0.0,
+        )
+        for i in range(length)
+    ]
+    return merged
 
 
 class LoadTracker:

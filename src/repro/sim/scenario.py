@@ -55,6 +55,11 @@ class SimulationConfig:
     ch_family: str = "anchor"
     ch_kwargs: Dict = field(default_factory=dict)
     seed: int = 0
+    #: Separate seed for the workload stream only (None = use ``seed``).
+    #: The sharded simulator sets this per shard so shards draw disjoint
+    #: flow populations while the engine seed -- and with it the whole
+    #: membership/churn schedule -- stays identical in every shard.
+    workload_seed: Optional[int] = None
     sample_interval: float = 1.0
     warmup_s: Optional[float] = None  # balance-metric warmup; default 20%
     # Drain same-timestamp packet events through the LB's batch path.
@@ -152,7 +157,7 @@ def run_simulation(config: SimulationConfig) -> SimResult:
         arrival_rate=arrival_rate,
         size_dist=size_dist,
         duration_dist=duration_dist,
-        seed=config.seed,
+        seed=config.seed if config.workload_seed is None else config.workload_seed,
         rate_profile=rate_profile,
     )
     injector = None

@@ -11,7 +11,13 @@ from repro.traces.synthetic_dc import (
     ny18_like,
     uni1_like,
 )
-from repro.traces.replay import ReplayResult, TraceEvent, replay, replay_batch
+from repro.traces.replay import (
+    ReplayResult,
+    TraceEvent,
+    merge_replay_results,
+    replay,
+    replay_batch,
+)
 from repro.traces.io import TraceWriter, cached_trace, load_trace, save_trace
 from repro.traces.from_pcap import trace_from_pcap
 
@@ -29,6 +35,7 @@ __all__ = [
     "NY18_PACKETS",
     "replay",
     "replay_batch",
+    "merge_replay_results",
     "ReplayResult",
     "TraceEvent",
     "save_trace",

@@ -46,6 +46,34 @@ class Trace:
         ):
             raise ValueError("packet flow indices out of range")
 
+    # --------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release memmap file handles backing the trace columns.
+
+        A ``load_trace(path, mmap=True)`` trace holds the file open for
+        as long as its arrays are mapped; close it (or use the trace as a
+        context manager) when done so the handle does not live until GC.
+        Idempotent; in-memory traces are unaffected.  The columns are
+        swapped for empty arrays first, so a stale reference to a closed
+        trace raises cleanly instead of faulting on the dead mapping --
+        but views handed out earlier (e.g. shard sub-traces sharing
+        ``flow_keys``) still pin the mapping and make close fail, so
+        close only traces you own outright.
+        """
+        for attr in ("flow_keys", "packets"):
+            array = getattr(self, attr)
+            mapping = getattr(array, "_mmap", None)
+            if mapping is not None:
+                setattr(self, attr, np.empty(0, dtype=array.dtype))
+                del array
+                mapping.close()
+
+    def __enter__(self) -> "Trace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # ------------------------------------------------------------ sizes
     @property
     def n_flows(self) -> int:

@@ -127,15 +127,21 @@ def load_trace(path: Union[str, Path], mmap: bool = False) -> Trace:
     With ``mmap=True`` the arrays are memory-mapped read-only instead of
     loaded -- constant memory regardless of trace size.  Requires an
     uncompressed archive; validation is skipped (the writers validated).
+    The mapping holds the file open: call :meth:`Trace.close` (or use the
+    trace as a context manager) to release it deterministically.
     """
     path = _with_npz_suffix(path)
     if not mmap:
-        with np.load(path) as data:
-            return Trace(
-                name=str(data["name"]),
-                flow_keys=data["flow_keys"],
-                packets=data["packets"],
-            )
+        # Own the handle: np.load(path) opens one internally and leaks it
+        # when header parsing raises before the NpzFile exists (the
+        # truncated-file path) -- ours closes on any exit.
+        with open(path, "rb") as handle:
+            with np.load(handle) as data:
+                return Trace(
+                    name=str(data["name"]),
+                    flow_keys=data["flow_keys"],
+                    packets=data["packets"],
+                )
     with zipfile.ZipFile(path) as archive:
         with archive.open("name.npy") as handle:
             name = str(np.lib.format.read_array(handle))

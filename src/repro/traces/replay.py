@@ -52,6 +52,9 @@ class ReplayResult:
     server_loads: Dict[Name, int] = field(default_factory=dict)
     #: CT occupancy high-water mark over the replay (0 for stateless).
     ct_peak_size: int = 0
+    #: Active (working) servers at finalization; the denominator of the
+    #: oversubscription average, carried so merged results can recompute it.
+    active_servers: int = 0
 
     def row(self) -> str:
         return (
@@ -152,6 +155,17 @@ def _build_result(
     return _finalize(trace, balancer, loads, violations, inevitable, wall)
 
 
+def _oversubscription(loads: Dict[Name, int], active_servers: int) -> float:
+    """Max per-server load over the active-server average (0.0 when idle).
+
+    Shared by single-run finalization and result merging so the merged
+    figure is byte-identical to a single-process run over the same loads.
+    """
+    dispatched_flows = sum(loads.values())
+    average = dispatched_flows / active_servers if active_servers else 0.0
+    return max(loads.values()) / average if loads and average else 0.0
+
+
 def _finalize(
     trace: Trace,
     balancer: LoadBalancer,
@@ -162,16 +176,12 @@ def _finalize(
 ) -> ReplayResult:
     """Assemble the ReplayResult from a per-server load dict."""
     active_servers = len(balancer.working)
-    dispatched_flows = sum(loads.values())
-    average = dispatched_flows / active_servers if active_servers else 0.0
-    oversubscription = max(loads.values()) / average if loads and average else 0.0
-
     ct = getattr(balancer, "ct", None)
     return ReplayResult(
         trace_name=trace.name,
         n_flows=trace.n_flows,
         n_packets=trace.n_packets,
-        max_oversubscription=oversubscription,
+        max_oversubscription=_oversubscription(loads, active_servers),
         tracked_connections=balancer.tracked_connections,
         rate_pps=trace.n_packets / wall if wall > 0 else 0.0,
         wall_seconds=wall,
@@ -179,6 +189,49 @@ def _finalize(
         inevitably_broken=inevitable,
         server_loads=loads,
         ct_peak_size=ct.stats.peak_size if ct is not None else 0,
+        active_servers=active_servers,
+    )
+
+
+def merge_replay_results(results: Sequence[ReplayResult]) -> ReplayResult:
+    """Fold per-shard replay results into one, as if replayed unsharded.
+
+    Associative and commutative over results from disjoint keyspace
+    partitions of one trace: flow- and packet-level tallies (violations,
+    inevitable breaks, tracked connections, per-server loads, packets)
+    sum; ``n_flows`` is the shared flow population (max); oversubscription
+    is recomputed from the merged loads over the shared working set.
+
+    Timing composes as the parallel critical path: ``wall_seconds`` is the
+    slowest shard's kernel wall and ``rate_pps`` the total packets over
+    it -- the throughput ``N`` dedicated cores would realize.
+
+    ``ct_peak_size`` sums, which is exact for churn-free replays into
+    unbounded CTs (occupancy is monotone, so per-shard peaks coexist) and
+    an upper bound under churn (shards may peak at different times).
+    """
+    if not results:
+        raise ValueError("nothing to merge")
+    loads: Dict[Name, int] = {}
+    for result in results:
+        for name, count in result.server_loads.items():
+            loads[name] = loads.get(name, 0) + count
+    active_servers = max(result.active_servers for result in results)
+    wall = max(result.wall_seconds for result in results)
+    n_packets = sum(result.n_packets for result in results)
+    return ReplayResult(
+        trace_name=results[0].trace_name,
+        n_flows=max(result.n_flows for result in results),
+        n_packets=n_packets,
+        max_oversubscription=_oversubscription(loads, active_servers),
+        tracked_connections=sum(r.tracked_connections for r in results),
+        rate_pps=n_packets / wall if wall > 0 else 0.0,
+        wall_seconds=wall,
+        pcc_violations=sum(r.pcc_violations for r in results),
+        inevitably_broken=sum(r.inevitably_broken for r in results),
+        server_loads=loads,
+        ct_peak_size=sum(r.ct_peak_size for r in results),
+        active_servers=active_servers,
     )
 
 

@@ -91,6 +91,32 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "tracked=" in output
 
+    def test_trace_replay_sharded_matches_single(self, tmp_path, capsys):
+        out = str(tmp_path / "t.npz")
+        main(["trace", "generate", "zipf", "--packets", "20000", "--out", out])
+        base = ["trace", "replay", out, "--family", "table", "--mode", "jet",
+                "--servers", "10", "--horizon", "2"]
+        assert main(base) == 0
+        single = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert "shards=2 workers=2" in sharded
+        # Same tracked/violations figures as the single-process replay.
+        for token in single.split():
+            if token.startswith(("tracked=", "violations=", "oversub=")):
+                assert token in sharded
+
+    def test_simulate_sharded_runs(self, capsys):
+        code = main(
+            [
+                "simulate", "--servers", "20", "--horizon", "2",
+                "--rate", "100", "--duration", "5", "--update-rate", "6",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "flows=" in capsys.readouterr().out
+
     def test_trace_replay_maglev_full(self, tmp_path, capsys):
         out = str(tmp_path / "t.npz")
         main(["trace", "generate", "zipf", "--packets", "10000", "--out", out])

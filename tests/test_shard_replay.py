@@ -1,0 +1,232 @@
+"""Sharded replay equals single-process replay -- the merge contract.
+
+The property the whole sharded dataplane rests on: for any CH family and
+LB mode, partitioning a trace over shards and merging the per-shard
+results reproduces the single-process replay byte for byte -- metrics,
+CT contents, invariant verdicts -- and the merged result is invariant to
+how shards are spread over worker processes.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.obs import Registry
+from repro.obs.invariants import MonitorSuite, default_monitors
+from repro.shard import BalancerSpec, MembershipEvent, replay_sharded
+from repro.traces import replay_batch, zipf_trace
+from repro.traces.replay import merge_replay_results
+
+#: Every (mode, family) pair the CLI can build; JET needs a horizon, so
+#: maglev (horizonless, paper Section 3.6) only runs full/stateless.
+FAMILIES = ("hrw", "ring", "table", "anchor", "maglev", "jump", "modulo")
+MODES = ("jet", "full", "stateless")
+MATRIX = [
+    (mode, family)
+    for mode in MODES
+    for family in FAMILIES
+    if not (mode == "jet" and family == "maglev")
+]
+
+TIMING_FIELDS = ("rate_pps", "wall_seconds")
+
+
+def small_trace(seed=3):
+    return zipf_trace(skew=1.0, n_packets=6_000, population=1_200, seed=seed)
+
+
+def assert_results_equal(a, b):
+    for field in a.__dataclass_fields__:
+        if field in TIMING_FIELDS:
+            continue
+        assert getattr(a, field) == getattr(b, field), field
+
+
+def fleet(mode, family, **kwargs):
+    return BalancerSpec.fleet(
+        mode=mode, family=family, n_servers=10, horizon_size=2, seed=5, **kwargs
+    )
+
+
+class TestMergeEqualsSingle:
+    @pytest.mark.parametrize("mode,family", MATRIX)
+    def test_metrics_ct_and_verdicts_match(self, mode, family):
+        trace = small_trace()
+        spec = fleet(mode, family)
+
+        single_registry = Registry()
+        single_balancer = spec.build(0)
+        single = replay_batch(trace, single_balancer, metrics=single_registry)
+        single_registry.collect()
+
+        merged_registry = Registry()
+        sharded = replay_sharded(
+            trace, spec, n_workers=1, n_shards=3,
+            metrics=merged_registry, collect_tracked=True,
+        )
+        assert_results_equal(sharded.result, single)
+
+        # CT contents: the union of per-shard tables is the single table.
+        items = getattr(single_balancer, "tracked_items", None)
+        if items is not None:
+            union = {}
+            for outcome in sharded.outcomes:
+                assert not union.keys() & outcome.tracked_items.keys()
+                union.update(outcome.tracked_items)
+            assert union == items()
+
+        # Invariant verdicts over the merged registry match byte for byte.
+        suite = MonitorSuite(default_monitors())
+        single_verdicts = [v.to_json() for v in suite.evaluate(single_registry)]
+        merged_verdicts = [v.to_json() for v in suite.evaluate(merged_registry)]
+        assert merged_verdicts == single_verdicts
+
+    def test_registry_counters_match_single(self):
+        from repro.obs import metrics as m
+        from repro.obs.collectors import CT_HITS, CT_INSERTS, CT_LOOKUPS
+
+        trace = small_trace()
+        spec = fleet("jet", "table")
+        r_single, r_merged = Registry(), Registry()
+        replay_batch(trace, spec.build(0), metrics=r_single)
+        r_single.collect()
+        replay_sharded(trace, spec, n_workers=1, n_shards=4, metrics=r_merged)
+        for name in (
+            m.FLOWS, m.TRACKED_FLOWS, m.OBSERVED_TRACKED_FRACTION,
+            CT_LOOKUPS, CT_HITS, CT_INSERTS,
+        ):
+            assert r_merged.value(name) == r_single.value(name), name
+
+
+class TestMembershipFanOut:
+    def test_events_reach_every_shard(self):
+        trace = small_trace(seed=9)
+        spec = fleet("jet", "table")
+        events = [
+            MembershipEvent(500, "remove_working", "s0"),
+            MembershipEvent(2_000, "add_working", "h0"),
+            MembershipEvent(4_500, "remove_working", "s3"),
+        ]
+        single_balancer = fleet("jet", "table").build(0)
+        single = replay_batch(
+            trace, single_balancer, [(e.packet_index, e.apply) for e in events]
+        )
+        for n_shards in (2, 3, 5):
+            sharded = replay_sharded(trace, spec, n_shards=n_shards, events=events)
+            assert_results_equal(sharded.result, single)
+
+    def test_trailing_event_state_is_rederived(self):
+        # An event after nearly every packet: it trails most shards, yet
+        # merged tracked/active/oversub must match the single run, which
+        # applies it before finalizing.
+        trace = small_trace(seed=4)
+        spec = fleet("jet", "hrw")
+        events = [MembershipEvent(trace.n_packets - 1, "remove_working", "s1")]
+        single = replay_batch(
+            trace, spec.build(0), [(e.packet_index, e.apply) for e in events]
+        )
+        sharded = replay_sharded(trace, spec, n_shards=4, events=events)
+        assert_results_equal(sharded.result, single)
+
+    def test_event_past_trace_end_never_fires(self):
+        trace = small_trace(seed=4)
+        spec = fleet("jet", "table")
+        quiet = replay_sharded(trace, spec, n_shards=3)
+        noisy = replay_sharded(
+            trace, spec, n_shards=3,
+            events=[MembershipEvent(trace.n_packets, "remove_working", "s0")],
+        )
+        assert_results_equal(noisy.result, quiet.result)
+
+
+class TestMergeAlgebra:
+    def test_merge_is_associative(self):
+        trace = small_trace()
+        spec = fleet("jet", "ring")
+        results = [
+            o.result for o in replay_sharded(trace, spec, n_shards=4).outcomes
+        ]
+        left = merge_replay_results(
+            [merge_replay_results(results[:2]), merge_replay_results(results[2:])]
+        )
+        flat = merge_replay_results(results)
+        assert_results_equal(left, flat)
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_replay_results([])
+
+
+class TestWorkerCountStability:
+    """Satellite: merged results are byte-stable in the worker count."""
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_workers_do_not_change_results(self):
+        # random-evict bounded CT: every RNG draw flows from the shard
+        # seed, so even eviction choices cannot depend on the process
+        # layout or scheduling order.
+        trace = small_trace(seed=8)
+        spec = fleet("jet", "table", ct_capacity=64, ct_policy="random")
+        runs = {
+            workers: replay_sharded(
+                trace, spec, n_workers=workers, n_shards=4, collect_tracked=True
+            )
+            for workers in (1, 2, 3)
+        }
+        baseline = runs[1]
+        for workers in (2, 3):
+            assert_results_equal(runs[workers].result, baseline.result)
+            for mine, theirs in zip(runs[workers].outcomes, baseline.outcomes):
+                assert mine.shard_id == theirs.shard_id
+                assert_results_equal(mine.result, theirs.result)
+                assert mine.tracked_items == theirs.tracked_items
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_forked_metrics_match_serial(self):
+        trace = small_trace(seed=2)
+        spec = fleet("jet", "anchor")
+        serial, forked = Registry(), Registry()
+        replay_sharded(trace, spec, n_workers=1, n_shards=2, metrics=serial)
+        replay_sharded(trace, spec, n_workers=2, n_shards=2, metrics=forked)
+
+        def series(registry):
+            # Wall-clock histograms measure the host, not the workload.
+            return [
+                entry for entry in registry.dump_series()
+                if entry["name"] != "repro_wall_seconds"
+            ]
+
+        assert series(forked) == series(serial)
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_worker_failure_surfaces(self):
+        trace = small_trace()
+
+        def bad_factory(shard_id):
+            raise RuntimeError("boom in worker")
+
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            replay_sharded(trace, bad_factory, n_workers=2, n_shards=2)
+
+
+class TestValidation:
+    def test_rejects_bad_counts(self):
+        trace = small_trace()
+        spec = fleet("jet", "table")
+        with pytest.raises(ValueError):
+            replay_sharded(trace, spec, n_workers=0)
+        with pytest.raises(ValueError):
+            replay_sharded(trace, spec, n_workers=1, n_shards=0)
+
+    def test_jet_maglev_rejected_at_spec(self):
+        with pytest.raises(ValueError, match="maglev"):
+            fleet("jet", "maglev")

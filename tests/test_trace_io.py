@@ -63,6 +63,56 @@ class TestRoundtrip:
         assert mapped.mean_flow_size() == trace.mean_flow_size()
 
 
+class TestLifecycle:
+    def test_close_releases_memmap_handles(self, tmp_path):
+        save_trace(small_trace(), tmp_path / "t", compressed=False)
+        mapped = load_trace(tmp_path / "t", mmap=True)
+        backing = mapped.flow_keys._mmap
+        mapped.close()
+        assert backing.closed
+        # Columns are detached, not left pointing at the dead mapping.
+        assert mapped.flow_keys.size == 0 and mapped.packets.size == 0
+
+    def test_close_is_idempotent(self, tmp_path):
+        save_trace(small_trace(), tmp_path / "t", compressed=False)
+        mapped = load_trace(tmp_path / "t", mmap=True)
+        mapped.close()
+        mapped.close()
+
+    def test_close_on_in_memory_trace_is_noop(self):
+        trace = small_trace()
+        before = trace.n_flows
+        trace.close()
+        assert trace.n_flows == before  # columns untouched
+
+    def test_context_manager_closes(self, tmp_path):
+        trace = small_trace()
+        save_trace(trace, tmp_path / "t", compressed=False)
+        with load_trace(tmp_path / "t", mmap=True) as mapped:
+            assert_traces_equal(mapped, trace)
+            backing = mapped.packets._mmap
+        assert backing.closed
+
+    def test_load_error_leaves_no_open_handle(self, tmp_path):
+        # The non-mmap loader owns its file handle, so a parse failure
+        # (truncated archive) must not leak it -- checked by promoting
+        # ResourceWarning to an error for the collection window.
+        import gc
+        import warnings
+
+        save_trace(small_trace(), tmp_path / "t", compressed=False)
+        path = tmp_path / "t.npz"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            with pytest.raises(
+                (ValueError, OSError, EOFError, zipfile.BadZipFile, KeyError)
+            ):
+                load_trace(path)
+            gc.collect()
+
+
 class TestSuffixHandling:
     def test_dotted_tag_not_mangled(self):
         # with_suffix would turn "zipf.1.2" into "zipf.1.npz".
