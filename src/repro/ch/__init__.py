@@ -7,7 +7,9 @@ JET-pluggable (implement :class:`~repro.ch.base.HorizonConsistentHash`):
 - :class:`TableHRWHash` -- table-based HRW (Section 3.4);
 - :class:`AnchorHash` -- AnchorHash (Section 3.5);
 - :class:`JumpHash` -- jump hashing (extension; horizon is a stack);
-- :class:`ModuloHash` -- the Section 2.4 strawman (not consistent).
+- :class:`ModuloHash` -- the Section 2.4 strawman (not consistent);
+- :class:`ConcuryHash` -- Concury-style Othello perfect mapping over
+  flowsets (extension; O(1) dataplane, control-plane mutation).
 
 Full-CT only (implements plain :class:`~repro.ch.base.ConsistentHash`):
 
@@ -31,6 +33,7 @@ from repro.ch.anchor import AnchorBuckets, AnchorHash
 from repro.ch.maglev import MaglevHash
 from repro.ch.jump import JumpHash, jump_bucket, v_jump_bucket
 from repro.ch.modulo import ModuloHash
+from repro.ch.concury import ConcuryHash
 from repro.ch.weighted import WeightedHRWHash, WeightedRingHash
 
 #: JET-compatible CH families evaluated in the paper, by name (plus the
@@ -50,7 +53,24 @@ JET_FAMILIES = {
 EXTENSION_FAMILIES = {
     "jump": JumpHash,
     "modulo": ModuloHash,
+    "concury": ConcuryHash,
 }
+
+
+def family_choices(jet_only: bool = False, maglev: bool = False):
+    """Sorted CH family names for CLI ``choices=`` lists.
+
+    The single source of truth is the registries above: a new family
+    registered there appears in every ``--family`` flag automatically.
+    ``jet_only`` restricts to the paper's horizon-pluggable four (plus
+    variants); ``maglev`` appends the full-CT-only MaglevHash.
+    """
+    names = sorted(JET_FAMILIES)
+    if not jet_only:
+        names += sorted(EXTENSION_FAMILIES)
+    if maglev:
+        names.append("maglev")
+    return names
 
 __all__ = [
     "BackendError",
@@ -72,8 +92,10 @@ __all__ = [
     "jump_bucket",
     "v_jump_bucket",
     "ModuloHash",
+    "ConcuryHash",
     "WeightedHRWHash",
     "WeightedRingHash",
     "JET_FAMILIES",
     "EXTENSION_FAMILIES",
+    "family_choices",
 ]

@@ -249,6 +249,11 @@ def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Choices come from the registries, not hand-kept lists: registering
+    # a CH family or LB mode is all it takes to appear in --family/--mode.
+    from repro.ch import family_choices
+    from repro.core.factories import lb_mode_choices
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="JET (CoNEXT 2021) reproduction toolkit",
@@ -270,9 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.set_defaults(func=_experiment)
 
     sim = sub.add_parser("simulate", help="run one event-driven simulation")
-    sim.add_argument("--mode", choices=["jet", "full", "stateless", "p2c"], default="jet")
-    sim.add_argument("--family", default="anchor",
-                     choices=["hrw", "ring", "ring-incremental", "table", "anchor"])
+    sim.add_argument("--mode", choices=lb_mode_choices() + ["p2c"], default="jet",
+                     help="LB wrapper; with --mode concury, --family names "
+                          "the inner control-plane CH")
+    sim.add_argument("--family", default="anchor", choices=family_choices())
     sim.add_argument("--servers", type=int, default=100)
     sim.add_argument("--horizon", type=int, default=10)
     sim.add_argument("--rate", type=float, default=1000.0,
@@ -371,9 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     rep = trace_sub.add_parser("replay")
     rep.add_argument("path")
-    rep.add_argument("--family", default="anchor",
-                     choices=["hrw", "ring", "ring-incremental", "table", "anchor", "maglev"])
-    rep.add_argument("--mode", choices=["jet", "full", "stateless"], default="jet")
+    rep.add_argument("--family", default="anchor", choices=family_choices(maglev=True))
+    rep.add_argument("--mode", choices=lb_mode_choices(), default="jet",
+                     help="LB wrapper; with --mode concury, --family names "
+                          "the inner control-plane CH")
     rep.add_argument("--servers", type=int, default=50)
     rep.add_argument("--horizon", type=int, default=5)
     rep.add_argument("--seed", type=int, default=0,

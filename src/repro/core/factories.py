@@ -26,9 +26,12 @@ from repro.ch import (
     RingHash,
     TableHRWHash,
 )
+from repro.ch.concury import ConcuryHash
+from repro.core.concury import ConcuryLoadBalancer
 from repro.core.full_ct import FullCTLoadBalancer
-from repro.core.interfaces import Name
+from repro.core.interfaces import LoadBalancer, Name
 from repro.core.jet import JETLoadBalancer
+from repro.core.stateless import StatelessLoadBalancer
 from repro.ct import make_ct
 from repro.ct.base import ConnectionTracker
 
@@ -85,3 +88,64 @@ def make_full_ct(
     if ct is None:
         ct = make_ct(ct_capacity, ct_policy)
     return FullCTLoadBalancer(ch, ct)
+
+
+def make_stateless(
+    family: str,
+    working: Iterable[Name],
+    horizon: Iterable[Name] = (),
+    **ch_kwargs,
+) -> StatelessLoadBalancer:
+    """Build the Section 2 static-setting baseline (no CT at all)."""
+    return StatelessLoadBalancer(make_ch(family, working, horizon, **ch_kwargs))
+
+
+def make_concury(
+    family: str,
+    working: Iterable[Name],
+    horizon: Iterable[Name] = (),
+    seed: int = 0,
+    flowsets: Optional[int] = None,
+    **ch_kwargs,
+) -> ConcuryLoadBalancer:
+    """Build a Concury LB: Othello flowset dataplane, ``family`` as the
+    *inner* control-plane CH deciding flowset placement."""
+    ch = ConcuryHash(
+        working=working,
+        horizon=horizon,
+        inner=family,
+        flowsets=flowsets,
+        seed=seed,
+        **ch_kwargs,
+    )
+    return ConcuryLoadBalancer(ch)
+
+
+#: LB wrapper modes by CLI name -- the companion registry to
+#: ``JET_FAMILIES``/``EXTENSION_FAMILIES``: CLI ``--mode`` choices are
+#: generated from here so a new wrapper shows up everywhere at once.
+LB_MODES = {
+    "jet": make_jet,
+    "full": make_full_ct,
+    "stateless": make_stateless,
+    "concury": make_concury,
+}
+
+
+def lb_mode_choices():
+    """Sorted LB mode names for CLI ``choices=`` lists."""
+    return sorted(LB_MODES)
+
+
+def make_lb(
+    mode: str,
+    family: str,
+    working: Iterable[Name],
+    horizon: Iterable[Name] = (),
+    **kwargs,
+) -> LoadBalancer:
+    """Build any registered (mode, family) LB composition."""
+    factory = LB_MODES.get(mode)
+    if factory is None:
+        raise ValueError(f"unknown LB mode {mode!r}; choose from {lb_mode_choices()}")
+    return factory(family, working, horizon, **kwargs)

@@ -5,8 +5,8 @@ against the scalar reference at two layers:
 
 - **CH layer**: ``lookup_with_safety_batch`` vs a ``lookup_with_safety``
   loop for every horizon-aware CH family (HRW, table-HRW, ring, anchor,
-  jump, modulo -- all vectorized), plus ``lookup_batch`` vs a ``lookup``
-  loop for Maglev (no safety variant, Section 3.6);
+  jump, modulo, concury -- all vectorized), plus ``lookup_batch`` vs a
+  ``lookup`` loop for Maglev (no safety variant, Section 3.6);
 - **LB/replay layer**: :func:`repro.traces.replay_batch` vs
   :func:`repro.traces.replay` over a Zipf trace for JET and the
   baselines.  Every balancer must satisfy the never-slower contract
@@ -53,8 +53,10 @@ from repro.traces import zipf_trace
 from repro.traces.replay import DEFAULT_CHUNK, replay, replay_batch
 
 #: Families swept at the CH layer.  "maglev" has no safety variant, so it
-#: is timed through plain ``lookup``/``lookup_batch``.
-CH_SWEEP = ("hrw", "table", "ring", "anchor", "maglev", "jump", "modulo")
+#: is timed through plain ``lookup``/``lookup_batch``; "concury" is the
+#: Othello perfect-mapping family (table-HRW inner, default flowsets).
+CH_SWEEP = ("hrw", "table", "ring", "anchor", "maglev", "jump", "modulo",
+            "concury")
 
 #: Per-scale sweep sizing (batch size stays at the acceptance-criteria
 #: 10k keys everywhere; only population and repetition counts scale).
@@ -357,7 +359,12 @@ def check_against(payload: dict, recorded: dict) -> List[str]:
       the half-of-recorded check only applies when the scales match;
     - any replay balancer recorded as ``columnar`` whose fresh batch rate
       fell below :data:`REPLAY_PPS_FLOOR` of the recorded ``batch_pps``
-      (absolute-rate gate; same scale only, like the speedup check).
+      (absolute-rate gate; same scale only, like the speedup check);
+    - a fresh ``showdown`` section whose Concury columnar replay rate
+      fell below :data:`REPLAY_PPS_FLOOR` of the recorded one (same
+      scale only; sections either payload lacks are skipped, so the
+      throughput and showdown experiments can each gate their own runs
+      against the one committed bench file).
     """
     failures: List[str] = []
 
@@ -371,14 +378,14 @@ def check_against(payload: dict, recorded: dict) -> List[str]:
                 by_family[row["family"]] = row
         return by_family
 
-    fresh_ch = reference_rows(payload["ch_lookup"])
+    fresh_ch = reference_rows(payload.get("ch_lookup", []))
     for family, row in fresh_ch.items():
         if row["speedup"] < 1.0:
             failures.append(
                 f"ch_lookup[{family}]: batch slower than scalar "
                 f"(speedup {row['speedup']:.3f} < 1.0)"
             )
-    for row in payload["replay"]:
+    for row in payload.get("replay", []):
         if row["speedup"] < 0.95:
             failures.append(
                 f"replay[{row['balancer']}]: below never-slower floor "
@@ -416,6 +423,29 @@ def check_against(payload: dict, recorded: dict) -> List[str]:
                     f"{REPLAY_PPS_FLOOR}x recorded "
                     f"({fresh['batch_pps']:,.0f} < {REPLAY_PPS_FLOOR} * "
                     f"{old['batch_pps']:,.0f} pps)"
+                )
+
+    def showdown_columnar(section):
+        for row in (section or {}).get("lookup", {}).get("rows", []):
+            if row.get("balancer") == "concury-table":
+                return row.get("columnar_replay_pps")
+        return None
+
+    fresh_show = payload.get("showdown")
+    old_show = recorded.get("showdown")
+    if (
+        fresh_show
+        and old_show
+        and fresh_show.get("scale") == old_show.get("scale")
+    ):
+        fresh_pps = showdown_columnar(fresh_show)
+        old_pps = showdown_columnar(old_show)
+        if fresh_pps is not None and old_pps:
+            if fresh_pps < REPLAY_PPS_FLOOR * old_pps:
+                failures.append(
+                    f"showdown[concury-table]: columnar replay rate below "
+                    f"{REPLAY_PPS_FLOOR}x recorded "
+                    f"({fresh_pps:,.0f} < {REPLAY_PPS_FLOOR} * {old_pps:,.0f} pps)"
                 )
     return failures
 

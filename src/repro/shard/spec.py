@@ -52,7 +52,7 @@ class MembershipEvent:
 class BalancerSpec:
     """Everything needed to rebuild one balancer stack in any process."""
 
-    mode: str = "jet"  # jet | full | stateless
+    mode: str = "jet"  # jet | full | stateless | concury
     family: str = "table"
     working: Tuple[Name, ...] = ()
     horizon: Tuple[Name, ...] = ()
@@ -82,6 +82,8 @@ class BalancerSpec:
         """
         if mode == "jet" and family == "maglev":
             raise ValueError("maglev has no horizon; use mode='full' or 'stateless'")
+        if mode == "concury" and family == "maglev":
+            raise ValueError("concury needs a horizon-aware inner family, not maglev")
         working = tuple(f"s{i}" for i in range(n_servers))
         horizon = (
             () if family == "maglev" else tuple(f"h{i}" for i in range(horizon_size))
@@ -114,6 +116,19 @@ class BalancerSpec:
 
             return StatelessLoadBalancer(
                 make_ch(self.family, list(self.working), list(self.horizon), **kwargs)
+            )
+        if self.mode == "concury":
+            # No CT, so no shard-local randomness: every shard builds the
+            # exact same Othello map (seeded by the master seed alone),
+            # which the merged-equals-single-process contract requires.
+            from repro.core.factories import make_concury
+
+            return make_concury(
+                self.family,
+                list(self.working),
+                list(self.horizon),
+                seed=self.seed,
+                **kwargs,
             )
         ct = make_ct(
             self.ct_capacity, self.ct_policy, seed=shard_seed(self.seed, shard_id)

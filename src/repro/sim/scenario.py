@@ -51,7 +51,7 @@ class SimulationConfig:
     ct_capacity: Optional[int] = None  # None = unbounded
     ct_policy: str = "lru"  # lru | fifo | random | ttl
     ct_ttl: Optional[float] = None  # idle timeout for ct_policy="ttl"
-    mode: str = "jet"  # jet | full | stateless | p2c
+    mode: str = "jet"  # jet | full | stateless | p2c | concury
     ch_family: str = "anchor"
     ch_kwargs: Dict = field(default_factory=dict)
     seed: int = 0
@@ -120,6 +120,20 @@ def build_balancer(config: SimulationConfig):
             # identities too; reserve room for a full run's worth.
             extra += 4 * config.autoscale_max + 64
         ch_kwargs["capacity"] = 2 * (config.n_servers + config.horizon_size) + 16 + extra
+    if config.mode == "concury":
+        # ch_family names the *inner* control-plane CH; the dataplane is
+        # the Othello flowset map, so there is no CT to configure.
+        from repro.core.concury import ConcuryLoadBalancer
+
+        ch = make_ch(
+            "concury",
+            working,
+            standby,
+            inner=config.ch_family,
+            seed=config.seed,
+            **ch_kwargs,
+        )
+        return ConcuryLoadBalancer(ch), working, standby
     ch = make_ch(config.ch_family, working, standby, **ch_kwargs)
     clock = Clock() if config.ct_policy == "ttl" else None
     ct = make_ct(

@@ -56,6 +56,8 @@ def build(family):
         kwargs["capacity"] = 4 * (len(WORKING) + len(HORIZON))
     elif family in ("ring", "ring-incremental"):
         kwargs["virtual_nodes"] = 20
+    elif family == "concury":
+        kwargs.update(flowsets=512, rows=389)  # inner defaults to table
     return make_ch(family, WORKING, HORIZON, **kwargs)
 
 
@@ -351,15 +353,31 @@ class TestLBBatch:
         assert len(lb.get_destinations_batch(np.empty(0, dtype=np.uint64))) == 0
 
 
-IDX_FAMILIES = ["hrw", "table", "ring", "anchor", "maglev", "jump", "modulo"]
-LB_MODES = ["jet", "full-ct", "stateless"]
+IDX_FAMILIES = ["hrw", "table", "ring", "anchor", "maglev", "jump", "modulo",
+                "concury"]
+LB_MODES = ["jet", "full-ct", "stateless", "concury"]
+
+
+def _skip_cell(family, mode):
+    """Reason a (family, mode) composition is undefined, or None."""
+    if family == "maglev" and mode in ("jet", "concury"):
+        return "Maglev has no horizon: no JET/Concury composition"
+    if family == "concury" and mode == "concury":
+        return "Concury cannot be its own inner family"
+    return None
 
 
 def build_lb(family, mode):
-    """One of the 7 families wrapped in one of the 3 LB modes.
+    """One of the 8 families wrapped in one of the 4 LB modes.
 
-    Maglev cannot be JET-composed (no horizon); callers skip that cell.
+    Maglev cannot be JET- or Concury-composed (no horizon); Concury
+    cannot nest inside itself; callers skip those cells.
     """
+    if mode == "concury":
+        from repro.core.factories import make_concury
+
+        return make_concury(family, WORKING, HORIZON, flowsets=512,
+                            **_ch_kwargs(family))
     if family == "maglev":
         if mode == "full-ct":
             return make_full_ct("maglev", WORKING, table_size=251)
@@ -378,6 +396,8 @@ def _ch_kwargs(family):
         return {"capacity": 4 * (len(WORKING) + len(HORIZON))}
     if family in ("ring", "ring-incremental"):
         return {"virtual_nodes": 20}
+    if family == "concury":
+        return {"flowsets": 512, "rows": 389}
     return {}
 
 
@@ -493,8 +513,9 @@ class TestColumnarLB:
     @pytest.mark.parametrize("family", IDX_FAMILIES)
     @pytest.mark.parametrize("mode", LB_MODES)
     def test_idx_name_scalar_agree(self, family, mode):
-        if family == "maglev" and mode == "jet":
-            pytest.skip("Maglev has no horizon: no JET composition")
+        reason = _skip_cell(family, mode)
+        if reason:
+            pytest.skip(reason)
         idx_lb, name_lb, scalar_lb = (build_lb(family, mode) for _ in range(3))
         keys = KEYS[:800]
         got_idx = _decode_idx_run(idx_lb, keys)
@@ -510,6 +531,9 @@ class TestColumnarLB:
     @pytest.mark.parametrize("family", [f for f in IDX_FAMILIES if f != "maglev"])
     @pytest.mark.parametrize("mode", LB_MODES)
     def test_idx_path_survives_churn(self, family, mode):
+        reason = _skip_cell(family, mode)
+        if reason:
+            pytest.skip(reason)
         idx_lb, scalar_lb = build_lb(family, mode), build_lb(family, mode)
         keys = KEYS[:500]
         assert _decode_idx_run(idx_lb, keys) == [

@@ -30,6 +30,10 @@ ALL_FAMILIES = sorted(JET_FAMILIES) + sorted(EXTENSION_FAMILIES)
 
 def build(family, working, horizon):
     """Small-parameter CH instance so hypothesis examples stay fast."""
+    if family == "concury":
+        from repro.ch import ConcuryHash
+
+        return ConcuryHash(working, horizon, inner="table", flowsets=128, rows=127)
     if family == "ring":
         return RingHash(working, horizon, virtual_nodes=8)
     if family == "ring-incremental":

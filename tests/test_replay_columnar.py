@@ -27,8 +27,18 @@ HORIZON = [f"h{i}" for i in range(4)]
 
 TRACE = zipf_trace(skew=1.0, n_packets=15_000, population=3_000, seed=21)
 
-IDX_FAMILIES = ["hrw", "table", "ring", "anchor", "maglev", "jump", "modulo"]
-LB_MODES = ["jet", "full-ct", "stateless"]
+IDX_FAMILIES = ["hrw", "table", "ring", "anchor", "maglev", "jump", "modulo",
+                "concury"]
+LB_MODES = ["jet", "full-ct", "stateless", "concury"]
+
+
+def _skip_cell(family, mode):
+    """Reason a (family, mode) composition is undefined, or None."""
+    if family == "maglev" and mode in ("jet", "concury"):
+        return "Maglev has no horizon: no JET/Concury composition"
+    if family == "concury" and mode == "concury":
+        return "Concury cannot be its own inner family"
+    return None
 
 
 def _ch_kwargs(family):
@@ -40,15 +50,21 @@ def _ch_kwargs(family):
         return {"virtual_nodes": 20}
     if family == "maglev":
         return {"table_size": 251}
+    if family == "concury":
+        return {"flowsets": 512, "rows": 389}
     return {}
 
 
 def build_lb(family, mode):
+    kwargs = _ch_kwargs(family)
+    if mode == "concury":
+        from repro.core.factories import make_concury
+
+        return make_concury(family, WORKING, HORIZON, flowsets=512, **kwargs)
     if family == "maglev":
         if mode == "full-ct":
             return make_full_ct("maglev", WORKING, table_size=251)
         return StatelessLoadBalancer(make_ch("maglev", WORKING, table_size=251))
-    kwargs = _ch_kwargs(family)
     if mode == "jet":
         return make_jet(family, WORKING, HORIZON, **kwargs)
     if mode == "full-ct":
@@ -72,8 +88,9 @@ class TestColumnarEquivalence:
     @pytest.mark.parametrize("family", IDX_FAMILIES)
     @pytest.mark.parametrize("mode", LB_MODES)
     def test_matches_scalar(self, family, mode):
-        if family == "maglev" and mode == "jet":
-            pytest.skip("Maglev has no horizon: no JET composition")
+        reason = _skip_cell(family, mode)
+        if reason:
+            pytest.skip(reason)
         columnar_lb = build_lb(family, mode)
         assert columnar_lb.columnar_effective, (family, mode)
         columnar = replay_batch(TRACE, columnar_lb)
@@ -81,7 +98,7 @@ class TestColumnarEquivalence:
         assert _fields(columnar) == _fields(scalar), (family, mode)
 
     @pytest.mark.parametrize("family", ["hrw", "table", "anchor", "jump"])
-    @pytest.mark.parametrize("mode", ["jet", "full-ct"])
+    @pytest.mark.parametrize("mode", ["jet", "full-ct", "concury"])
     def test_matches_scalar_with_events(self, family, mode):
         victim = WORKING[-1]  # Jump retires in LIFO order
         admit = victim if family == "jump" else HORIZON[0]

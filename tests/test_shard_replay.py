@@ -17,15 +17,18 @@ from repro.shard import BalancerSpec, MembershipEvent, replay_sharded
 from repro.traces import replay_batch, zipf_trace
 from repro.traces.replay import merge_replay_results
 
-#: Every (mode, family) pair the CLI can build; JET needs a horizon, so
-#: maglev (horizonless, paper Section 3.6) only runs full/stateless.
-FAMILIES = ("hrw", "ring", "table", "anchor", "maglev", "jump", "modulo")
-MODES = ("jet", "full", "stateless")
+#: Every (mode, family) pair the CLI can build; JET and Concury need a
+#: horizon, so maglev (horizonless, paper Section 3.6) only runs
+#: full/stateless, and Concury cannot be its own inner family.
+FAMILIES = ("hrw", "ring", "table", "anchor", "maglev", "jump", "modulo",
+            "concury")
+MODES = ("jet", "full", "stateless", "concury")
 MATRIX = [
     (mode, family)
     for mode in MODES
     for family in FAMILIES
-    if not (mode == "jet" and family == "maglev")
+    if not (mode in ("jet", "concury") and family == "maglev")
+    and not (mode == "concury" and family == "concury")
 ]
 
 TIMING_FIELDS = ("rate_pps", "wall_seconds")
@@ -183,6 +186,34 @@ class TestWorkerCountStability:
                 assert mine.shard_id == theirs.shard_id
                 assert_results_equal(mine.result, theirs.result)
                 assert mine.tracked_items == theirs.tracked_items
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_concury_workers_do_not_change_results(self):
+        # Concury has no CT and no shard-local randomness at all: every
+        # shard builds the identical Othello map from the master seed, so
+        # the merged result must be byte-stable in the worker count even
+        # under mid-trace membership churn.
+        trace = small_trace(seed=8)
+        spec = fleet("concury", "table")
+        events = [
+            MembershipEvent(1_000, "remove_working", "s2"),
+            MembershipEvent(3_500, "add_working", "h0"),
+        ]
+        runs = {
+            workers: replay_sharded(
+                trace, spec, n_workers=workers, n_shards=4, events=events
+            )
+            for workers in (1, 2, 3)
+        }
+        baseline = runs[1]
+        for workers in (2, 3):
+            assert_results_equal(runs[workers].result, baseline.result)
+            for mine, theirs in zip(runs[workers].outcomes, baseline.outcomes):
+                assert mine.shard_id == theirs.shard_id
+                assert_results_equal(mine.result, theirs.result)
 
     @pytest.mark.skipif(
         "fork" not in multiprocessing.get_all_start_methods(),
