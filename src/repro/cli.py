@@ -5,6 +5,7 @@ Commands
 ``experiment``  run one of the paper's tables/figures (fig3..fig7,
                 table1, table2, theory, extensions, lbpool, all)
 ``simulate``    one event-driven run with explicit knobs (Section 5.1)
+``scenario``    the declarative scenario library (list / show / run)
 ``trace``       generate / inspect / replay packet traces
 ``obs``         observability utilities (summarize a metrics artifact)
 ``version``     print package version
@@ -14,6 +15,9 @@ Examples::
     python -m repro experiment fig3 --scale smoke
     python -m repro simulate --mode jet --servers 120 --horizon 12 \
         --rate 1000 --duration 60 --update-rate 10 --ct-size 500
+    python -m repro scenario run flash-crowd
+    python -m repro simulate --scenario zone-failure --config-out run.json
+    python -m repro simulate --config run.json
     python -m repro trace generate zipf --skew 1.1 --packets 500000 \
         --out /tmp/z11.npz
     python -m repro trace replay /tmp/z11.npz --family anchor --mode jet
@@ -86,9 +90,60 @@ def _experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scenario_spec(args: argparse.Namespace):
+    """The spec named by ``--scenario NAME`` or a ``--file PATH``."""
+    from repro.scenarios import load_file, load_scenario
+
+    if getattr(args, "file", None):
+        return load_file(args.file)
+    if not getattr(args, "name", None):
+        raise SystemExit("give a scenario name or --file PATH")
+    return load_scenario(args.name)
+
+
+def _simulate_from_source(args: argparse.Namespace) -> int:
+    """``simulate --scenario NAME`` / ``simulate --config PATH``: run a
+    pre-assembled config through the plain simulation path (no envelope
+    judging -- that is ``repro scenario run``)."""
+    from repro.sim.persist import save_config
+    from repro.sim.scenario import run_simulation
+
+    shards = args.shards
+    if args.scenario:
+        from repro.scenarios import compile_scenario, load_scenario
+
+        compiled = compile_scenario(load_scenario(args.scenario))
+        config = compiled.config
+        if shards is None:
+            shards = compiled.shards  # the spec pins the partition
+    else:
+        from repro.sim.persist import load_config
+
+        config = load_config(args.config)
+    if args.config_out:
+        save_config(config, args.config_out)
+        print(f"config: {args.config_out}")
+    registry, exporter = _open_metrics(args)
+    config = config.with_(registry=registry)
+    if args.workers == 1 and shards is None:
+        result = run_simulation(config)
+    else:
+        from repro.shard import simulate_sharded
+
+        result = simulate_sharded(config, n_workers=args.workers, n_shards=shards)
+    print(result.summary())
+    if registry is not None:
+        _close_metrics(args, registry, exporter, t=config.duration_s)
+    return 0
+
+
 def _simulate(args: argparse.Namespace) -> int:
     from repro.sim.scenario import SimulationConfig, run_simulation
 
+    if args.scenario and args.config:
+        raise SystemExit("--scenario and --config are mutually exclusive")
+    if args.scenario or args.config:
+        return _simulate_from_source(args)
     fault_schedule = None
     if any(
         rate > 0
@@ -159,6 +214,11 @@ def _simulate(args: argparse.Namespace) -> int:
         probe_loss_probability=args.probe_loss,
         rate_profile=rate_profile,
     )
+    if args.config_out:
+        from repro.sim.persist import save_config
+
+        save_config(config, args.config_out)
+        print(f"config: {args.config_out}")
     if args.workers == 1 and args.shards is None:
         result = run_simulation(config)
     else:
@@ -171,6 +231,65 @@ def _simulate(args: argparse.Namespace) -> int:
     if registry is not None:
         _close_metrics(args, registry, exporter, t=args.duration)
     return 0
+
+
+def _scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import compile_scenario, load_all, run_compiled
+
+    if args.scenario_command == "list":
+        for name, spec in load_all().items():
+            marker = f" [{spec.mode}]" if spec.mode != "jet" else ""
+            print(f"{name}{marker}: {spec.description}")
+        return 0
+
+    if args.scenario_command == "show":
+        import json as _json
+
+        spec = _resolve_scenario_spec(args)
+        compiled = compile_scenario(spec)
+        print(_json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        schedule = compiled.config.fault_schedule
+        print(
+            f"# compiles to: {compiled.config.n_servers} servers, "
+            f"horizon {compiled.config.horizon_size}, "
+            f"{len(schedule) if schedule is not None else 0} fault events, "
+            f"{compiled.shards} shards"
+            + (", closed-loop control" if compiled.config.control else "")
+        )
+        return 0
+
+    # run
+    from repro.scenarios import ScenarioSpec
+
+    spec = _resolve_scenario_spec(args)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    if overrides:
+        spec = ScenarioSpec.parse({**spec.to_dict(), **overrides})
+    compiled = compile_scenario(spec)
+    if args.config_out:
+        from repro.sim.persist import save_config
+
+        save_config(compiled.config, args.config_out)
+        print(f"config: {args.config_out}")
+    registry, exporter = _open_metrics(args)
+    report = run_compiled(compiled, workers=args.workers, registry=registry)
+    if exporter is not None:
+        exporter.close()
+        print(f"metrics: {args.metrics_out}")
+    print(report.render())
+    if args.json_out:
+        import json as _json
+
+        with open(args.json_out, "w") as handle:
+            _json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        print(f"report: {args.json_out}")
+    return 0 if report.ok else 1
 
 
 def _trace(args: argparse.Namespace) -> int:
@@ -275,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
     exp.set_defaults(func=_experiment)
 
     sim = sub.add_parser("simulate", help="run one event-driven simulation")
+    sim.add_argument("--scenario", default=None, metavar="NAME",
+                     help="run a library scenario's compiled config "
+                          "(ignores the explicit knobs below; see "
+                          "'repro scenario list')")
+    sim.add_argument("--config", default=None, metavar="PATH",
+                     help="re-run a config saved with --config-out "
+                          "(byte-identical reproduction)")
+    sim.add_argument("--config-out", default=None, metavar="PATH",
+                     help="persist the effective config (seed, family, "
+                          "mode, chaos schedule) as JSON for re-runs")
     sim.add_argument("--mode", choices=lb_mode_choices() + ["p2c"], default="jet",
                      help="LB wrapper; with --mode concury, --family names "
                           "the inner control-plane CH")
@@ -356,6 +485,40 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: the paper's Hadoop distribution)")
     _add_metrics_args(sim)
     sim.set_defaults(func=_simulate)
+
+    scen = sub.add_parser("scenario", help="declarative scenario library")
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+
+    scen_sub.add_parser("list", help="list library scenarios")
+
+    def _add_scenario_source(p):
+        p.add_argument("name", nargs="?", default=None,
+                       help="library scenario name (see 'scenario list')")
+        p.add_argument("--file", default=None, metavar="PATH",
+                       help="load the spec from a .json/.toml file instead")
+
+    show = scen_sub.add_parser("show", help="print a spec and its compilation")
+    _add_scenario_source(show)
+
+    run = scen_sub.add_parser(
+        "run", help="compile, run, and judge a scenario against its envelope"
+    )
+    _add_scenario_source(run)
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes; the spec pins the shard "
+                          "partition, so results are worker-invariant")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec's seed")
+    run.add_argument("--mode", default=None,
+                     help="override the spec's LB mode (e.g. full, concury)")
+    run.add_argument("--duration", type=float, default=None,
+                     help="override the spec's duration (seconds)")
+    run.add_argument("--config-out", default=None, metavar="PATH",
+                     help="persist the compiled effective config as JSON")
+    run.add_argument("--json-out", default=None, metavar="PATH",
+                     help="write the full scenario report as JSON")
+    _add_metrics_args(run)
+    scen.set_defaults(func=_scenario)
 
     trace = sub.add_parser("trace", help="generate / inspect / replay traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

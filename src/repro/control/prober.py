@@ -72,16 +72,23 @@ class HealthProber:
         loss_probability: float = 0.0,
         monitor: Optional[HealthMonitor] = None,
         seed: int = 0,
+        loss_by_target: Optional[Dict[Name, float]] = None,
     ):
         if fail_threshold < 1 or recover_threshold < 1:
             raise ValueError("thresholds must be >= 1")
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
+        for name, extra in (loss_by_target or {}).items():
+            if not 0.0 <= extra < 1.0:
+                raise ValueError(f"loss_by_target[{name!r}] must be in [0, 1)")
         #: Ground truth oracle: does the server answer a probe right now?
         self.is_up = is_up
         self.fail_threshold = fail_threshold
         self.recover_threshold = recover_threshold
         self.loss_probability = loss_probability
+        #: Asymmetric probe paths (multi-region scenarios): extra loss
+        #: probability per server, composed with the global/chaos rates.
+        self.loss_by_target: Dict[Name, float] = dict(loss_by_target or {})
         self.monitor = monitor or HealthMonitor()
         self.stats = ProbeStats()
         self._rng = random.Random(splitmix64(seed ^ 0x9B0B_ED00))
@@ -120,11 +127,17 @@ class HealthProber:
         """
         evict: List[Name] = []
         ready: List[Tuple[float, Name]] = []
-        loss = self._loss_now(now)
+        base_loss = self._loss_now(now)
+        per_target = self.loss_by_target
         for name in sorted(self._targets, key=_name_key):
             target = self._targets[name]
             self.stats.sent += 1
             answered = self.is_up(name)
+            loss = base_loss
+            if per_target:
+                extra = per_target.get(name, 0.0)
+                if extra > 0.0:
+                    loss = 1.0 - (1.0 - base_loss) * (1.0 - extra)
             if answered and loss > 0.0 and self._rng.random() < loss:
                 answered = False
                 self.stats.lost += 1

@@ -38,13 +38,23 @@ from repro.ct.base import ConnectionTracker
 
 def make_ch(family: str, working: Iterable[Name], horizon: Iterable[Name] = (), **kwargs):
     """Build a CH module by family name ("hrw", "ring", "table", "anchor",
-    "maglev", plus the "jump"/"modulo" extensions).  Extra kwargs reach the
-    CH constructor (e.g. ``rows=...``, ``virtual_nodes=...``,
+    "maglev", plus the "jump"/"modulo" extensions and the heterogeneous
+    "weighted-hrw"/"weighted-ring" variants, which accept ``{name:
+    weight}`` mappings for ``working``/``horizon``).  Extra kwargs reach
+    the CH constructor (e.g. ``rows=...``, ``virtual_nodes=...``,
     ``capacity=...``, ``table_size=...``)."""
     if family == "maglev":
         if horizon:
             raise ValueError("MaglevHash cannot take a horizon (paper Section 3.6)")
         return MaglevHash(working, **kwargs)
+    if family in ("weighted-hrw", "weighted-ring"):
+        # Special-cased like maglev rather than registered: the weighted
+        # variants take server-spec mappings and have no batch kernels,
+        # so they stay out of the family-sweep registries.
+        from repro.ch.weighted import WeightedHRWHash, WeightedRingHash
+
+        cls = WeightedHRWHash if family == "weighted-hrw" else WeightedRingHash
+        return cls(working=working, horizon=horizon, **kwargs)
     cls = JET_FAMILIES.get(family) or EXTENSION_FAMILIES.get(family)
     if cls is None:
         raise ValueError(
@@ -121,6 +131,28 @@ def make_concury(
     return ConcuryLoadBalancer(ch)
 
 
+def make_jet_p2c(
+    family: str,
+    working: Iterable[Name],
+    horizon: Iterable[Name] = (),
+    ct: Optional[ConnectionTracker] = None,
+    ct_capacity: Optional[int] = None,
+    ct_policy: str = "lru",
+    weights=None,
+    **ch_kwargs,
+):
+    """Build the Section 6.3 power-of-2-choices JET with Charon-style
+    occupancy weighting: new-connection candidates compared by live
+    backend occupancy (driver-refreshed gauges) normalized by capacity
+    ``weights``.  SYN-gated, so PCC stays sound."""
+    from repro.core.load_aware import PowerOfTwoJET
+
+    ch = make_ch(family, working, horizon, **ch_kwargs)
+    if ct is None:
+        ct = make_ct(ct_capacity, ct_policy)
+    return PowerOfTwoJET(ch, ct, weights=weights)
+
+
 #: LB wrapper modes by CLI name -- the companion registry to
 #: ``JET_FAMILIES``/``EXTENSION_FAMILIES``: CLI ``--mode`` choices are
 #: generated from here so a new wrapper shows up everywhere at once.
@@ -129,6 +161,7 @@ LB_MODES = {
     "full": make_full_ct,
     "stateless": make_stateless,
     "concury": make_concury,
+    "jet-p2c": make_jet_p2c,
 }
 
 

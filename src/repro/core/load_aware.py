@@ -19,14 +19,25 @@ an untracked connection could silently reroute it.  Non-SYN packets of
 untracked connections always follow the plain CH result, which Theorem 4.4
 guarantees to be stable for safe connections.
 
-Load is the number of active connections per server, maintained by the
-balancer itself via ``note_flow_start`` / ``note_flow_end`` callbacks from
-the flow source (the simulator or replayer).
+Load is the number of active connections per server.  Two signals feed
+the comparison, Charon-style (arXiv 2110.14389):
+
+- a periodically-refreshed **occupancy view** -- the per-backend active-
+  connection gauges the driver publishes into :mod:`repro.obs`
+  (``repro_backend_active_flows``) and mirrors into the balancer via
+  :meth:`PowerOfTwoJET.observe_occupancy`.  In a pool deployment this is
+  the fleet-wide truth no single LB can self-count;
+- the balancer's own ``note_flow_start`` / ``note_flow_end`` counters,
+  used as an in-flight *delta* on top of the last observed view (and as
+  the sole signal when no view was ever observed).
+
+Heterogeneous fleets normalize both by per-server capacity ``weights``,
+so a weight-2 machine looks half as loaded at equal occupancy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set
 
 from repro.ch.base import HorizonConsistentHash
 from repro.core.interfaces import LoadBalancer, Name
@@ -47,6 +58,7 @@ class PowerOfTwoJET(LoadBalancer):
         ch: HorizonConsistentHash,
         ct: Optional[ConnectionTracker] = None,
         active_cleanup: bool = True,
+        weights: Optional[Mapping[Name, float]] = None,
     ):
         self.ch = ch
         self.ct = ct if ct is not None else UnboundedCT()
@@ -54,6 +66,13 @@ class PowerOfTwoJET(LoadBalancer):
         self._working: Set[Name] = set(ch.working)
         self._order: List[Name] = sorted(self._working, key=repr)
         self.load: Dict[Name, int] = {name: 0 for name in self._working}
+        #: Per-server capacity weights; absent servers count as 1.0.
+        self.weights: Dict[Name, float] = dict(weights or {})
+        # Last observed occupancy gauges and the self-counted loads at
+        # observation time (so in-flight placements since the refresh
+        # still steer the comparison).
+        self._occupancy: Optional[Dict[Name, int]] = None
+        self._load_at_observe: Dict[Name, int] = {}
 
     # ----------------------------------------------------------- packet
     def get_destination(self, key_hash: int, new_connection: bool = False) -> Name:
@@ -70,7 +89,9 @@ class PowerOfTwoJET(LoadBalancer):
             return ch_choice
         alternative = self._second_choice(key_hash)
         chosen = ch_choice
-        if alternative != ch_choice and self.load[alternative] < self.load[ch_choice]:
+        if alternative != ch_choice and self._pressure(alternative) < self._pressure(
+            ch_choice
+        ):
             chosen = alternative
         if unsafe or chosen != ch_choice:
             # Track when the decision is not reproducible from the hash
@@ -81,6 +102,28 @@ class PowerOfTwoJET(LoadBalancer):
     def _second_choice(self, key_hash: int) -> Name:
         """Independent uniform candidate among working servers."""
         return self._order[fmix64(key_hash ^ 0xD6E8_FEB8_6659_FD93) % len(self._order)]
+
+    def _pressure(self, name: Name) -> float:
+        """Capacity-normalized load: observed occupancy gauge plus the
+        self-counted in-flight delta since the last refresh, divided by
+        the server's weight.  With no view ever observed and unit
+        weights this is exactly the self-counted comparison."""
+        local = self.load.get(name, 0)
+        if self._occupancy is None:
+            occupancy = local
+        else:
+            occupancy = self._occupancy.get(name, 0) + (
+                local - self._load_at_observe.get(name, 0)
+            )
+        return occupancy / self.weights.get(name, 1.0)
+
+    def observe_occupancy(self, occupancy: Mapping[Name, int]) -> None:
+        """Refresh the live occupancy view (the driver mirrors the
+        ``repro_backend_active_flows`` gauges here at sample boundaries;
+        called identically whether or not a registry is attached, so
+        observability cannot change dispatch decisions)."""
+        self._occupancy = dict(occupancy)
+        self._load_at_observe = dict(self.load)
 
     # -------------------------------------------------- load accounting
     def note_flow_start(self, destination: Name) -> None:

@@ -364,7 +364,10 @@ def check_against(payload: dict, recorded: dict) -> List[str]:
       fell below :data:`REPLAY_PPS_FLOOR` of the recorded one (same
       scale only; sections either payload lacks are skipped, so the
       throughput and showdown experiments can each gate their own runs
-      against the one committed bench file).
+      against the one committed bench file);
+    - a fresh ``scenarios`` section with any native-mode envelope
+      violation, or (same scale only) a scenario whose tracked-fraction
+      margin collapsed below half the recorded headroom.
     """
     failures: List[str] = []
 
@@ -446,6 +449,38 @@ def check_against(payload: dict, recorded: dict) -> List[str]:
                     f"showdown[concury-table]: columnar replay rate below "
                     f"{REPLAY_PPS_FLOOR}x recorded "
                     f"({fresh_pps:,.0f} < {REPLAY_PPS_FLOOR} * {old_pps:,.0f} pps)"
+                )
+
+    # Scenario-matrix envelopes (repro.experiments.scenario_matrix): any
+    # fresh native-mode envelope violation is an absolute failure, and the
+    # tracked-fraction headroom must not collapse below half the recorded
+    # margin (same scale and same committed seeds, so the comparison is
+    # exact, not statistical).
+    fresh_scen = payload.get("scenarios")
+    old_scen = recorded.get("scenarios")
+    if fresh_scen:
+        for name, row in sorted(fresh_scen.get("scenarios", {}).items()):
+            if not row.get("ok", True):
+                failures.append(
+                    f"scenarios[{name}]: native-mode envelope violated"
+                )
+    if (
+        fresh_scen
+        and old_scen
+        and fresh_scen.get("scale") == old_scen.get("scale")
+    ):
+        for name, old in sorted(old_scen.get("scenarios", {}).items()):
+            fresh = fresh_scen.get("scenarios", {}).get(name)
+            if fresh is None:
+                continue
+            old_margin = (old.get("margins") or {}).get("tracked_fraction")
+            new_margin = (fresh.get("margins") or {}).get("tracked_fraction")
+            if old_margin is None or new_margin is None or old_margin <= 0:
+                continue
+            if new_margin < 0.5 * old_margin:
+                failures.append(
+                    f"scenarios[{name}]: tracked-fraction margin collapsed "
+                    f"({new_margin:.3f} < 0.5 * recorded {old_margin:.3f})"
                 )
     return failures
 

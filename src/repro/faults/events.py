@@ -78,7 +78,12 @@ class FaultEvent:
 
     ``target`` is usually ``None`` (the injector picks a victim from the
     live set at fire time, keeping schedules valid under any churn); flap
-    continuations carry the flapping server explicitly.
+    continuations carry the flapping server explicitly.  Scripted
+    scenarios (:mod:`repro.scenarios`) pin victims ahead of time instead:
+    ``targets`` names the exact victim set of a ``group`` event (a zone,
+    a rack) and ``downtime`` overrides the engine's sampled recovery
+    delay so a rolling deploy can promise each instance back after a
+    fixed drain window.
     """
 
     time: float
@@ -92,12 +97,20 @@ class FaultEvent:
     duration: float = 0.0
     #: Severity knob for control-plane faults (e.g. probe loss probability).
     intensity: float = 0.0
+    #: Explicit victim set for ``group`` events (empty = random victims).
+    targets: Tuple[Name, ...] = ()
+    #: Recovery-delay override for ``crash``/``group`` (None = sampled).
+    downtime: Optional[float] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
         if self.time < 0:
             raise ValueError("fault time must be non-negative")
+        if not isinstance(self.targets, tuple):
+            object.__setattr__(self, "targets", tuple(self.targets))
+        if self.downtime is not None and self.downtime < 0:
+            raise ValueError("fault downtime must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -98,7 +98,7 @@ class ChaosInjector:
         victim = event.target if event.target in sim.up_index else sim.pick_up_server()
         if victim is None:
             return False
-        sim.crash_server(victim, now)
+        sim.crash_server(victim, now, downtime=event.downtime)
         sim.result.crashes += 1
         return True
 
@@ -128,12 +128,21 @@ class ChaosInjector:
 
     def _group(self, sim, event: FaultEvent, now: float) -> bool:
         crashed = 0
-        for _ in range(max(event.group_size, 1)):
-            victim = sim.pick_up_server()
-            if victim is None:
-                break
-            sim.crash_server(victim, now)
-            crashed += 1
+        if event.targets:
+            # Scripted victim set (a zone, a rack): crash exactly the
+            # listed servers that are still up, in the given order.
+            for victim in event.targets:
+                if victim not in sim.up_index:
+                    continue
+                sim.crash_server(victim, now, downtime=event.downtime)
+                crashed += 1
+        else:
+            for _ in range(max(event.group_size, 1)):
+                victim = sim.pick_up_server()
+                if victim is None:
+                    break
+                sim.crash_server(victim, now, downtime=event.downtime)
+                crashed += 1
         if crashed:
             sim.result.correlated_failures += 1
             sim.result.crashes += crashed

@@ -40,6 +40,15 @@ EXPECTED_TRACKED_FRACTION = "repro_expected_tracked_fraction"
 EXPECTED_TRACKED_FRACTION_MEAN = "repro_expected_tracked_fraction_mean"
 OBSERVED_TRACKED_FRACTION = "repro_observed_tracked_fraction"
 PCC_VIOLATIONS = "repro_pcc_violations_total"
+#: Post-warmup maximum coefficient of variation of per-server active
+#: connections (capacity-normalized on weighted fleets); published by the
+#: engine, bounded by scenario envelopes (repro.scenarios).
+BALANCE_CV_MAX = "repro_balance_cv_max"
+#: Live per-backend active-connection gauge (label ``server=``); the
+#: occupancy signal Charon-style load-aware dispatch consumes.  Published
+#: only for occupancy-consuming balancers to keep label cardinality paid
+#: for.
+BACKEND_ACTIVE_FLOWS = "repro_backend_active_flows"
 INEVITABLY_BROKEN = "repro_inevitably_broken_total"
 CHURN_EXPOSED = "repro_churn_exposed_flows_total"
 BACKEND_EVENTS = "repro_backend_events_total"

@@ -34,6 +34,9 @@ GAUGE_SUM = frozenset(
         metrics.CT_OCCUPANCY_PEAK,
         metrics.CT_CAPACITY,
         metrics.GOSSIP_STALENESS,
+        # Each shard dispatches a disjoint 1/N of the flows, so the
+        # per-backend occupancy gauges add up to the fleet view.
+        metrics.BACKEND_ACTIVE_FLOWS,
     }
 )
 

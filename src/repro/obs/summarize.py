@@ -18,11 +18,19 @@ from repro.obs.invariants import MonitorResult, MonitorSuite
 
 
 def summarize(path) -> dict:
-    """Digest a JSONL metrics file into {series, invariants, snapshots}."""
+    """Digest a JSONL metrics file into {series, invariants, snapshots}.
+
+    Invariant verdicts aggregate over *every* snapshot that recorded any
+    (a multi-run artifact -- e.g. the scenario matrix writes one final
+    snapshot per scenario -- must not let early violations hide behind a
+    clean last run); the metrics digest stays the final snapshot's.
+    """
     records = load_jsonl(path)
     final = last_snapshot(records)
     invariants = [
-        MonitorResult.from_json(item) for item in (final or {}).get("invariants", [])
+        MonitorResult.from_json(item)
+        for record in records
+        for item in record.get("invariants", [])
     ]
     return {
         "path": str(path),

@@ -1,0 +1,57 @@
+"""The named scenario library shipped with the package.
+
+Scenarios live as JSON documents in ``repro/scenarios/library/`` (JSON,
+not TOML, so Python 3.10 loads them without ``tomllib``).  Each file is
+a complete :class:`~repro.scenarios.spec.ScenarioSpec` document; the
+file stem must match the spec's ``name`` field so CLI lookups and file
+contents can never disagree.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.scenarios.spec import ScenarioError, ScenarioSpec, load_file
+
+_SUFFIXES = (".json", ".toml")
+
+
+def library_dir() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "library")
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of all shipped scenarios."""
+    names = []
+    for entry in os.listdir(library_dir()):
+        stem, ext = os.path.splitext(entry)
+        if ext in _SUFFIXES:
+            names.append(stem)
+    return sorted(names)
+
+
+def scenario_path(name: str) -> str:
+    for suffix in _SUFFIXES:
+        path = os.path.join(library_dir(), name + suffix)
+        if os.path.exists(path):
+            return path
+    raise ScenarioError(
+        f"scenario {name!r}",
+        f"not in the library; available: {scenario_names()}",
+    )
+
+
+def load_scenario(name: str) -> ScenarioSpec:
+    """Load one library scenario by name."""
+    path = scenario_path(name)
+    spec = load_file(path)
+    if spec.name != name:
+        raise ScenarioError(
+            path, f"file is named {name!r} but declares name {spec.name!r}"
+        )
+    return spec
+
+
+def load_all() -> Dict[str, ScenarioSpec]:
+    return {name: load_scenario(name) for name in scenario_names()}

@@ -1,0 +1,139 @@
+"""Run compiled scenarios and judge them against their envelopes.
+
+``run_scenario`` is the one entry point: compile the spec, run it
+through the existing sharded simulation driver (``--workers`` only
+changes process fan-out; the keyspace partition is pinned by the spec),
+evaluate the envelope monitors over the merged registry, and return a
+:class:`ScenarioReport` carrying the result, the verdicts, and the
+headroom left inside each bound.
+
+Byte-stability contract: everything in the report except wall-clock
+timing is a pure function of (spec, seed, shards) -- the
+:func:`fingerprint` helper hashes exactly that reproducible surface, and
+the test suite asserts it is invariant across worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.invariants import MonitorResult, MonitorSuite, evaluate_and_export
+from repro.obs.registry import Registry
+from repro.scenarios.compile import CompiledScenario, compile_scenario
+from repro.scenarios.envelope import envelope_margins, envelope_monitors
+from repro.scenarios.spec import ScenarioSpec
+from repro.shard.runner import simulate_sharded
+from repro.sim.metrics import SimResult
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one scenario run."""
+
+    scenario: str
+    mode: str
+    seed: int
+    shards: int
+    workers: int
+    result: SimResult
+    monitors: List[MonitorResult] = field(default_factory=list)
+    #: Headroom inside each envelope bound (negative = violated,
+    #: None = the monitor skipped at this scale).
+    margins: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not any(m.violated for m in self.monitors)
+
+    @property
+    def violations(self) -> List[MonitorResult]:
+        return [m for m in self.monitors if m.violated]
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "ENVELOPE VIOLATED"
+        lines = [
+            f"scenario {self.scenario} [{self.mode}] seed={self.seed} "
+            f"shards={self.shards} workers={self.workers}: {status}",
+            f"  {self.result.summary()}",
+            MonitorSuite.render(self.monitors),
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "seed": self.seed,
+            "shards": self.shards,
+            "workers": self.workers,
+            "ok": self.ok,
+            "result": asdict(self.result),
+            "monitors": MonitorSuite.to_json(self.monitors),
+            "margins": self.margins,
+        }
+
+
+def fingerprint(result: SimResult) -> str:
+    """A stable serialization of a result's reproducible surface.
+
+    Wall-clock timing is the one field allowed to differ between
+    otherwise identical runs, so it is excluded; everything else must be
+    byte-identical across worker counts and repeat runs.
+    """
+    payload = asdict(result)
+    payload.pop("wall_seconds", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_compiled(
+    compiled: CompiledScenario,
+    workers: int = 1,
+    registry: Optional[Registry] = None,
+) -> ScenarioReport:
+    """Run an already-compiled scenario (the compile/run split lets
+    callers persist the effective config via ``repro.sim.persist``)."""
+    spec = compiled.spec
+    own = registry if registry is not None else Registry()
+    config = compiled.config.with_(registry=own)
+    result = simulate_sharded(config, n_workers=workers, n_shards=compiled.shards)
+    monitors = evaluate_and_export(
+        own, t=config.duration_s, monitors=envelope_monitors(spec.envelope)
+    )
+    return ScenarioReport(
+        scenario=spec.name,
+        mode=spec.mode,
+        seed=spec.seed,
+        shards=compiled.shards,
+        workers=workers,
+        result=result,
+        monitors=monitors,
+        margins=envelope_margins(spec.envelope, monitors),
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    workers: int = 1,
+    seed: Optional[int] = None,
+    mode: Optional[str] = None,
+    duration_s: Optional[float] = None,
+    registry: Optional[Registry] = None,
+) -> ScenarioReport:
+    """Compile and run one scenario.
+
+    ``seed``/``mode``/``duration_s`` override the spec (sweeps and smoke
+    runs re-parameterize scenarios without editing files); overrides are
+    applied *before* compilation so the chaos schedule and shard seeds
+    derive from the effective values.
+    """
+    overrides = {}
+    if mode is not None:
+        overrides["mode"] = mode
+    if duration_s is not None:
+        overrides["duration_s"] = duration_s
+    if overrides:
+        spec = ScenarioSpec.parse({**spec.to_dict(), **overrides})
+    compiled = compile_scenario(spec, seed=seed)
+    return run_compiled(compiled, workers=workers, registry=registry)

@@ -152,6 +152,16 @@ class EventDrivenSimulation:
         self._track_expected = isinstance(balancer, JETLoadBalancer)
         self._expected_sum = 0.0
         self._expected_count = 0
+        # Weighted CH families generalize Theorem 4.2's expectation to
+        # weight(H)/(weight(W)+weight(H)); detect once so unweighted runs
+        # keep the count-based O(1) path byte-identical.
+        ch_weight_of = getattr(getattr(balancer, "ch", None), "weight_of", None)
+        self._weight_of = ch_weight_of if callable(ch_weight_of) else None
+        # Occupancy-consuming balancers (jet-p2c) get the per-backend
+        # active-flow view refreshed at every sample event -- always, not
+        # just when a registry is attached, so observability can never
+        # change a dispatch decision (the obs-differential invariant).
+        self._observe_occupancy = getattr(balancer, "observe_occupancy", None)
 
         # TTL-based CT tables carry a simulated clock we must advance.
         from repro.ct.ttl import Clock as _SimClock
@@ -513,8 +523,12 @@ class EventDrivenSimulation:
         if stats is not None and stats.inserts > inserts_before:
             self._first_tracked += 1
         if self._track_expected:
-            horizon = self.manager.horizon_occupancy
-            working = len(self._up)
+            if self._weight_of is not None:
+                horizon = self._weight_sum(self.manager.members)
+                working = self._weight_sum(self._up)
+            else:
+                horizon = self.manager.horizon_occupancy
+                working = len(self._up)
             if working:
                 self._expected_sum += horizon / (working + horizon)
                 self._expected_count += 1
@@ -532,6 +546,18 @@ class EventDrivenSimulation:
         if self._note_flow_start is not None:
             self._note_flow_start(destination)
         self._flows_by_server.setdefault(destination, set()).add(flow)
+
+    def _safe_weight(self, name: Name) -> float:
+        """Capacity weight of ``name``; 1.0 for servers the CH does not
+        carry (chaos-born identities, autoscaled launches)."""
+        try:
+            return self._weight_of(name)
+        except Exception:
+            return 1.0
+
+    def _weight_sum(self, names) -> float:
+        weight_of = self._safe_weight
+        return sum(weight_of(name) for name in names)
 
     def _break_flow(self, flow: Flow) -> None:
         # PCC violation: the connection is reset by the new backend.
@@ -587,11 +613,22 @@ class EventDrivenSimulation:
             self._push(now + self.controller.interval_s, _CONTROL)
 
     def _on_sample(self, now: float) -> None:
+        if self._observe_occupancy is not None:
+            # Refresh the balancer's live occupancy view (jet-p2c); runs
+            # unconditionally so dispatch never depends on the registry.
+            self._observe_occupancy(self._load.per_server())
         oversub = self._load.oversubscription(len(self._up))
         if oversub is not None and now >= self.warmup_s:
             self.result.oversubscription_series.append(oversub)
             if oversub > self.result.max_oversubscription:
                 self.result.max_oversubscription = oversub
+            cv = self._load.cv_over(
+                self._up, self._safe_weight if self._weight_of is not None else None
+            )
+            if cv is not None:
+                self.result.balance_cv_series.append(cv)
+                if cv > self.result.max_balance_cv:
+                    self.result.max_balance_cv = cv
         tracked = self.lb.tracked_connections
         self.result.tracked_series.append(tracked)
         self.result.sample_times.append(now)
@@ -652,6 +689,18 @@ class EventDrivenSimulation:
                 obs_metrics.EXPECTED_TRACKED_FRACTION_MEAN,
                 "Flow-weighted mean expected tracked fraction",
             ).set(self._expected_sum / self._expected_count)
+        if result.balance_cv_series:
+            obs.gauge(
+                obs_metrics.BALANCE_CV_MAX,
+                "Post-warmup max CV of per-server active connections",
+            ).set(result.max_balance_cv)
+        if self._observe_occupancy is not None:
+            for name, load in self._load.per_server().items():
+                obs.gauge(
+                    obs_metrics.BACKEND_ACTIVE_FLOWS,
+                    "Active connections per backend",
+                    server=str(name),
+                ).set(load)
         if self.controller is not None:
             obs.counter(
                 obs_metrics.BLACKHOLED_FLOWS,

@@ -37,6 +37,11 @@ class SimResult:
     surprise_additions: int = 0
     max_oversubscription: float = 0.0
     oversubscription_series: List[float] = field(default_factory=list)
+    #: Post-warmup max coefficient of variation of per-server active
+    #: connections (capacity-normalized on weighted fleets); the balance
+    #: figure scenario envelopes bound.
+    max_balance_cv: float = 0.0
+    balance_cv_series: List[float] = field(default_factory=list)
     tracked_series: List[int] = field(default_factory=list)
     sample_times: List[float] = field(default_factory=list)
     peak_tracked: int = 0
@@ -173,6 +178,7 @@ _MAX_FIELDS = (
     "removals",
     "additions",
     "max_oversubscription",
+    "max_balance_cv",
     "wall_seconds",
 )
 
@@ -251,6 +257,17 @@ def merge_sim_results(results: Sequence[SimResult]) -> SimResult:
         )
         for i in range(length)
     ]
+    merged.balance_cv_series = [
+        max(
+            (
+                r.balance_cv_series[i]
+                for r in results
+                if i < len(r.balance_cv_series)
+            ),
+            default=0.0,
+        )
+        for i in range(length)
+    ]
     return merged
 
 
@@ -281,3 +298,26 @@ class LoadTracker:
         average = self.active_flows / active_servers
         heaviest = max(self._load.values(), default=0)
         return heaviest / average if average > 0 else None
+
+    def per_server(self) -> Dict[Name, int]:
+        """The live per-server count map (read-only; do not mutate)."""
+        return self._load
+
+    def cv_over(self, servers, weight_fn=None) -> Optional[float]:
+        """Coefficient of variation (std/mean) of per-server load over
+        the given population; servers with no recorded flows count as 0.
+        ``weight_fn`` normalizes each load by capacity, so on a weighted
+        fleet a perfectly proportional split scores CV 0."""
+        if self.active_flows == 0 or not servers:
+            return None
+        values = []
+        for server in servers:
+            load = self._load.get(server, 0)
+            if weight_fn is not None:
+                load = load / weight_fn(server)
+            values.append(load)
+        mean = sum(values) / len(values)
+        if mean <= 0:
+            return None
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        return variance**0.5 / mean

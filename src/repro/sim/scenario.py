@@ -51,9 +51,18 @@ class SimulationConfig:
     ct_capacity: Optional[int] = None  # None = unbounded
     ct_policy: str = "lru"  # lru | fifo | random | ttl
     ct_ttl: Optional[float] = None  # idle timeout for ct_policy="ttl"
-    mode: str = "jet"  # jet | full | stateless | p2c | concury
+    mode: str = "jet"  # jet | full | stateless | p2c | jet-p2c | concury
     ch_family: str = "anchor"
     ch_kwargs: Dict = field(default_factory=dict)
+    #: Per-server capacity weights (heterogeneous fleets); None = uniform.
+    #: Weighted CH families ("weighted-hrw"/"weighted-ring") consume them
+    #: as server specs, "jet-p2c" as occupancy normalizers, and the
+    #: engine's expected-tracked-fraction accounting generalizes to
+    #: weight(H)/(weight(W)+weight(H)) whenever the CH carries weights.
+    server_weights: Optional[Dict] = None
+    #: Extra per-server health-probe loss probability (asymmetric-latency
+    #: zones in repro.scenarios); composes with the global probability.
+    probe_loss_by_server: Optional[Dict] = None
     seed: int = 0
     #: Separate seed for the workload stream only (None = use ``seed``).
     #: The sharded simulator sets this per shard so shards draw disjoint
@@ -106,6 +115,12 @@ def build_balancer(config: SimulationConfig):
         standby = []
     else:
         standby = list(range(config.n_servers, config.n_servers + config.horizon_size))
+    weights = config.server_weights
+    ch_working, ch_standby = working, standby
+    if weights and config.ch_family in ("weighted-hrw", "weighted-ring"):
+        # Weighted families take {name: weight} server specs directly.
+        ch_working = {name: weights.get(name, 1.0) for name in working}
+        ch_standby = {name: weights.get(name, 1.0) for name in standby}
     ch_kwargs = dict(config.ch_kwargs)
     if config.ch_family == "anchor" and "capacity" not in ch_kwargs:
         # Leave headroom for forced additions and horizon churn; chaos
@@ -134,7 +149,7 @@ def build_balancer(config: SimulationConfig):
             **ch_kwargs,
         )
         return ConcuryLoadBalancer(ch), working, standby
-    ch = make_ch(config.ch_family, working, standby, **ch_kwargs)
+    ch = make_ch(config.ch_family, ch_working, ch_standby, **ch_kwargs)
     clock = Clock() if config.ct_policy == "ttl" else None
     ct = make_ct(
         config.ct_capacity,
@@ -149,8 +164,9 @@ def build_balancer(config: SimulationConfig):
         return FullCTLoadBalancer(ch, ct), working, standby
     if config.mode == "stateless":
         return StatelessLoadBalancer(ch), working, standby
-    if config.mode == "p2c":
-        return PowerOfTwoJET(ch, ct), working, standby
+    if config.mode in ("p2c", "jet-p2c"):
+        # "p2c" is the legacy alias; "jet-p2c" is the registry name.
+        return PowerOfTwoJET(ch, ct, weights=weights), working, standby
     raise ValueError(f"unknown mode {config.mode!r}")
 
 
@@ -232,6 +248,7 @@ def build_controller(config: SimulationConfig, arrival_rate: float, duration_dis
         fail_threshold=config.probe_fail_threshold,
         recover_threshold=config.probe_recover_threshold,
         loss_probability=config.probe_loss_probability,
+        loss_by_target=config.probe_loss_by_server,
         monitor=HealthMonitor(
             base_s=config.probation_base_s, cap_s=config.probation_cap_s
         ),

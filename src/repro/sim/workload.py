@@ -43,10 +43,16 @@ class RateProfile:
             raise ValueError("peak must be positive")
         self.factor = factor
         self.peak = peak
+        #: Declarative recipe for profiles built via the classmethods
+        #: (``{"kind": ..., **params}``); lets ``repro.sim.persist``
+        #: round-trip a config.  None for hand-rolled callables.
+        self.spec: Optional[dict] = None
 
     @classmethod
     def flat(cls) -> "RateProfile":
-        return cls(lambda t: 1.0, 1.0)
+        profile = cls(lambda t: 1.0, 1.0)
+        profile.spec = {"kind": "flat"}
+        return profile
 
     @classmethod
     def flash_crowd(
@@ -71,7 +77,15 @@ class RateProfile:
                 return magnitude - (magnitude - 1.0) * down / ramp_s
             return 1.0
 
-        return cls(factor, magnitude)
+        profile = cls(factor, magnitude)
+        profile.spec = {
+            "kind": "flash_crowd",
+            "start": start,
+            "ramp_s": ramp_s,
+            "magnitude": magnitude,
+            "hold_s": hold_s,
+        }
+        return profile
 
     @classmethod
     def diurnal(cls, period_s: float, amplitude: float = 0.5) -> "RateProfile":
@@ -85,7 +99,9 @@ class RateProfile:
         def factor(t: float) -> float:
             return 1.0 + amplitude * math.sin(two_pi * t / period_s)
 
-        return cls(factor, 1.0 + amplitude)
+        profile = cls(factor, 1.0 + amplitude)
+        profile.spec = {"kind": "diurnal", "period_s": period_s, "amplitude": amplitude}
+        return profile
 
 
 class Flow:

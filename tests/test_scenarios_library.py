@@ -1,0 +1,190 @@
+"""The shipped scenario library, the matrix experiment, and the CLI verbs.
+
+Every library scenario must load strictly, carry a non-trivial envelope,
+and pass that envelope at its shipped scale -- the library is executable
+documentation, so a scenario that fails its own envelope is a bug in one
+or the other.  The matrix/bench plumbing (``bench_section`` ->
+``merge_into_bench`` -> ``throughput.check_against``) is exercised on
+synthetic payloads so regressions in the gate itself fail fast.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.scenario_matrix import bench_section, merge_into_bench
+from repro.experiments.throughput import check_against
+from repro.scenarios import (
+    ScenarioError,
+    load_all,
+    load_scenario,
+    run_scenario,
+    scenario_names,
+    scenario_path,
+)
+
+LIBRARY = load_all()
+
+
+class TestLibraryShape:
+    def test_at_least_six_scenarios(self):
+        assert len(LIBRARY) >= 6
+
+    def test_names_match_file_stems(self):
+        for name in scenario_names():
+            assert load_scenario(name).name == name
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ScenarioError) as err:
+            scenario_path("no-such-scenario")
+        assert "flash-crowd" in str(err.value)
+
+    def test_every_scenario_has_description_and_envelope(self):
+        for name, spec in LIBRARY.items():
+            assert spec.description, name
+            assert spec.envelope.bounds(), f"{name} ships without an envelope"
+
+    def test_library_covers_the_production_situations(self):
+        names = set(LIBRARY)
+        assert {
+            "flash-crowd",
+            "rolling-deploy",
+            "zone-failure",
+            "multi-region-failover",
+            "churn-storm",
+            "heterogeneous-fleet",
+        } <= names
+
+    def test_shards_pinned_for_worker_invariance(self):
+        for name, spec in LIBRARY.items():
+            assert spec.shards >= 1, name
+
+
+class TestLibraryEnvelopes:
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_scenario_meets_its_own_envelope(self, name):
+        report = run_scenario(LIBRARY[name])
+        assert report.ok, report.render()
+
+
+class TestMatrixBenchPlumbing:
+    PAYLOAD = {
+        "experiment": "scenario_matrix",
+        "scale": "smoke",
+        "workers": 1,
+        "wall_seconds_total": 2.0,
+        "scenarios": {
+            "s1": {
+                "native_mode": "jet",
+                "seed": 1,
+                "ok": True,
+                "modes": {
+                    "jet": {
+                        "ok": True,
+                        "wall_seconds": 0.5,
+                        "margins": {"tracked_fraction": 0.2},
+                    },
+                    "full": {"ok": True, "wall_seconds": 0.5, "margins": {}},
+                },
+            }
+        },
+        "ok": True,
+    }
+
+    def test_bench_section_keeps_native_row_only(self):
+        section = bench_section(self.PAYLOAD)
+        assert section["scale"] == "smoke"
+        assert section["scenarios"]["s1"]["margins"] == {"tracked_fraction": 0.2}
+
+    def test_merge_preserves_other_sections(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"scale": "smoke", "ch_lookup": [{"x": 1}]}))
+        merge_into_bench(self.PAYLOAD, str(path))
+        recorded = json.loads(path.read_text())
+        assert recorded["ch_lookup"] == [{"x": 1}]  # untouched
+        assert recorded["scenarios"]["scenarios"]["s1"]["ok"] is True
+
+    def test_check_against_flags_envelope_violation(self):
+        fresh = {"scale": "smoke", "scenarios": bench_section(self.PAYLOAD)}
+        fresh["scenarios"]["scenarios"]["s1"]["ok"] = False
+        failures = check_against(fresh, {"scale": "smoke"})
+        assert any("s1" in f and "envelope violated" in f for f in failures)
+
+    def test_check_against_flags_margin_collapse(self):
+        recorded = {"scale": "smoke", "scenarios": bench_section(self.PAYLOAD)}
+        fresh = json.loads(json.dumps(recorded))
+        fresh["scenarios"]["scenarios"]["s1"]["margins"]["tracked_fraction"] = 0.05
+        failures = check_against(fresh, recorded)
+        assert any("margin collapsed" in f for f in failures)
+
+    def test_check_against_ignores_scale_mismatch_and_none_margins(self):
+        recorded = {"scale": "paper", "scenarios": bench_section(self.PAYLOAD)}
+        fresh = {"scale": "smoke", "scenarios": bench_section(self.PAYLOAD)}
+        fresh["scenarios"]["scenarios"]["s1"]["margins"]["tracked_fraction"] = 0.0001
+        assert check_against(fresh, recorded) == []
+        recorded["scale"] = "smoke"
+        recorded["scenarios"]["scenarios"]["s1"]["margins"]["tracked_fraction"] = None
+        assert check_against(fresh, recorded) == []
+
+
+class TestScenarioCLI:
+    def test_list_names_every_scenario(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_show_prints_spec_and_compilation(self, capsys):
+        assert main(["scenario", "show", "zone-failure"]) == 0
+        out = capsys.readouterr().out
+        assert '"name": "zone-failure"' in out
+        assert "# compiles to:" in out and "fault events" in out
+
+    def test_run_judges_and_reports(self, tmp_path, capsys):
+        json_out = str(tmp_path / "report.json")
+        code = main(
+            ["scenario", "run", "zone-failure", "--json-out", json_out]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "OK" in out
+        payload = json.loads(open(json_out).read())
+        assert payload["scenario"] == "zone-failure" and payload["ok"]
+
+    def test_run_from_file_with_overrides(self, tmp_path, capsys):
+        spec = {
+            "name": "mini",
+            "duration_s": 6,
+            "fleet": {"servers": 10, "horizon": 2},
+            "workload": {"connection_rate": 60},
+        }
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(spec))
+        code = main(
+            ["scenario", "run", "--file", str(path), "--mode", "full", "--seed", "9"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[full]" in out and "seed=9" in out
+
+    def test_run_without_source_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run"])
+
+    def test_simulate_scenario_and_config_roundtrip(self, tmp_path, capsys):
+        config_out = str(tmp_path / "cfg.json")
+        assert (
+            main(["simulate", "--scenario", "zone-failure", "--config-out", config_out])
+            == 0
+        )
+        first = capsys.readouterr().out
+        # The config persists the engine parameters; the keyspace
+        # partition is the runner's, so the replay pins the same shards.
+        assert main(["simulate", "--config", config_out, "--shards", "2"]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_simulate_source_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scenario", "zone-failure", "--config", "x.json"])
